@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments verify examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/mine/ ./internal/pil/ ./internal/embound/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -all | tee experiments_output.txt
+
+# Re-check the 14 qualitative shape claims.
+verify:
+	$(GO) run ./cmd/experiments -verify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/protein
+	$(GO) run ./examples/events
+	$(GO) run ./examples/models
+	$(GO) run ./examples/dnacase
+
+clean:
+	$(GO) clean ./...

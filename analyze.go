@@ -1,0 +1,156 @@
+package permine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"permine/internal/pattern"
+	"permine/internal/seq"
+)
+
+// ParsedPattern is a pattern in the paper's explicit notation, possibly
+// with a different gap requirement between each character pair
+// (e.g. "A..Tg(9,12)C"). Build one with ParsePattern.
+type ParsedPattern = pattern.Pattern
+
+// Occurrence is one matching offset sequence, as 0-based positions.
+type Occurrence = pattern.Occurrence
+
+// ParsePattern parses the paper's pattern notation: shorthand characters
+// ("ATC", pairs separated by defaultGap), wild-card dots ("A..T.C", exact
+// gaps) and explicit groups ("Ag(8,10)Tg(9)C"), freely mixed.
+func ParsePattern(text string, defaultGap Gap) (*ParsedPattern, error) {
+	return pattern.Parse(text, defaultGap)
+}
+
+// SupportOf computes sup(P) for a parsed (possibly heterogeneous-gap)
+// pattern in O(|P|·L).
+func SupportOf(s *Sequence, p *ParsedPattern) (int64, error) {
+	return pattern.Support(s, p)
+}
+
+// Occurrences lists up to limit matching offset sequences of the parsed
+// pattern, in position order (limit <= 0 lists all; supports can be
+// astronomically large, prefer a limit).
+func Occurrences(s *Sequence, p *ParsedPattern, limit int) ([]Occurrence, error) {
+	return pattern.Occurrences(s, p, limit)
+}
+
+// AnnotatedPattern augments a mined pattern with its significance under
+// the IID composition null model: the expected support ratio is the
+// product of the per-character frequencies (each offset position is one
+// independent draw), and Enrichment is observed/expected. This echoes the
+// base-pair oscillation statistic of the paper's introduction: values
+// well above 1 flag periodic structure beyond what composition explains.
+type AnnotatedPattern struct {
+	Pattern
+	// Expected is the support ratio an IID sequence with the same
+	// composition would give the pattern in expectation.
+	Expected float64
+	// Enrichment is Ratio / Expected (+Inf if Expected is zero).
+	Enrichment float64
+}
+
+// Annotate computes significance annotations for every mined pattern,
+// sorted by decreasing enrichment. s must be the sequence the result was
+// mined from.
+func Annotate(res *Result, s *Sequence) ([]AnnotatedPattern, error) {
+	if res == nil {
+		return nil, fmt.Errorf("permine: nil result")
+	}
+	if s.Len() != res.SeqLen {
+		return nil, fmt.Errorf("permine: sequence length %d does not match the mined result's %d", s.Len(), res.SeqLen)
+	}
+	comp := seq.Compose(s)
+	out := make([]AnnotatedPattern, 0, len(res.Patterns))
+	for _, p := range res.Patterns {
+		expected := 1.0
+		for i := 0; i < len(p.Chars); i++ {
+			expected *= comp.Freq(p.Chars[i])
+		}
+		a := AnnotatedPattern{Pattern: p, Expected: expected}
+		if expected > 0 {
+			a.Enrichment = p.Ratio / expected
+		} else if p.Ratio > 0 {
+			a.Enrichment = math.Inf(1)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Enrichment != out[j].Enrichment {
+			return out[i].Enrichment > out[j].Enrichment
+		}
+		return out[i].Chars < out[j].Chars
+	})
+	return out, nil
+}
+
+// StrandPattern is a mined pattern tagged with the strand(s) it was found
+// on, for double-stranded DNA mining.
+type StrandPattern struct {
+	Pattern
+	// Forward and Reverse report on which strand(s) the pattern is
+	// frequent. For a pattern frequent on both, Pattern carries the
+	// forward-strand support.
+	Forward bool
+	Reverse bool
+	// ReverseSupport is the support on the reverse complement strand
+	// (0 if not frequent there).
+	ReverseSupport int64
+}
+
+// MineBothStrands mines a DNA sequence and its reverse complement with
+// the given algorithm (AlgoMPP, AlgoMPPm or AlgoAdaptive) and merges the
+// results: biological periodicities can live on either strand. Patterns
+// are keyed by their forward-strand reading; a pattern found only on the
+// reverse strand is reported as its own characters with Reverse set.
+func MineBothStrands(s *Sequence, algo Algorithm, p Params) ([]StrandPattern, error) {
+	rc, err := s.ReverseComplement()
+	if err != nil {
+		return nil, err
+	}
+	runner := func(sub *Sequence) (*Result, error) {
+		switch algo {
+		case AlgoMPP:
+			return MPP(sub, p)
+		case AlgoMPPm:
+			return MPPm(sub, p)
+		case AlgoAdaptive:
+			return Adaptive(sub, p)
+		default:
+			return nil, fmt.Errorf("permine: MineBothStrands does not support %v", algo)
+		}
+	}
+	fwd, err := runner(s)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := runner(rc)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[string]*StrandPattern, len(fwd.Patterns))
+	for _, pat := range fwd.Patterns {
+		merged[pat.Chars] = &StrandPattern{Pattern: pat, Forward: true}
+	}
+	for _, pat := range rev.Patterns {
+		if sp, ok := merged[pat.Chars]; ok {
+			sp.Reverse = true
+			sp.ReverseSupport = pat.Support
+			continue
+		}
+		merged[pat.Chars] = &StrandPattern{Pattern: pat, Reverse: true, ReverseSupport: pat.Support}
+	}
+	out := make([]StrandPattern, 0, len(merged))
+	for _, sp := range merged {
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Chars) != len(out[j].Chars) {
+			return len(out[i].Chars) < len(out[j].Chars)
+		}
+		return out[i].Chars < out[j].Chars
+	})
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package permine_test
+
+import (
+	"math"
+	"testing"
+
+	"permine"
+)
+
+func TestParsePatternAndSupportOf(t *testing.T) {
+	s, err := permine.NewDNASequence("h", "ACTGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := permine.ParsePattern("A.Tg(0,1)A", permine.Gap{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := permine.SupportOf(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup != 1 {
+		t.Errorf("support = %d, want 1", sup)
+	}
+	occ, err := permine.Occurrences(s, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 1 || occ[0][2] != 4 {
+		t.Errorf("occurrences = %v", occ)
+	}
+}
+
+// TestParsedUniformAgreesWithShorthand: the heterogeneous-gap machinery
+// must agree with the shorthand Support on uniform-gap patterns.
+func TestParsedUniformAgreesWithShorthand(t *testing.T) {
+	s, err := permine.GenerateGenomeLike(400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := permine.Gap{N: 3, M: 5}
+	for _, chars := range []string{"AT", "ATA", "TTT", "ACGT"} {
+		p, err := permine.ParsePattern(chars, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaParsed, err := permine.SupportOf(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaShorthand, err := permine.Support(s, chars, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaParsed != viaShorthand {
+			t.Errorf("%s: parsed %d != shorthand %d", chars, viaParsed, viaShorthand)
+		}
+	}
+}
+
+func TestAnnotateEnrichment(t *testing.T) {
+	// On the genome-like subject the planted periodic A-chains must be
+	// strongly enriched over the composition null; generic short
+	// patterns hover near 1.
+	s, err := permine.GenerateGenomeLike(1000, 20050711)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := permine.MPPm(s, permine.Params{Gap: permine.Gap{N: 9, M: 12}, MinSupport: 0.00003, EmOrder: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := permine.Annotate(res, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) != len(res.Patterns) {
+		t.Fatalf("annotated %d of %d", len(annotated), len(res.Patterns))
+	}
+	// Sorted by decreasing enrichment.
+	for i := 1; i < len(annotated); i++ {
+		if annotated[i].Enrichment > annotated[i-1].Enrichment {
+			t.Fatal("not sorted by enrichment")
+		}
+	}
+	// The top pattern should be a long planted chain, heavily enriched.
+	top := annotated[0]
+	if top.Enrichment < 10 {
+		t.Errorf("top enrichment %v for %q, want the periodic signal to dominate", top.Enrichment, top.Chars)
+	}
+	if top.Expected <= 0 || math.IsNaN(top.Enrichment) {
+		t.Errorf("bad annotation: %+v", top)
+	}
+	// Errors.
+	if _, err := permine.Annotate(nil, s); err == nil {
+		t.Error("nil result accepted")
+	}
+	other, _ := permine.GenerateGenomeLike(500, 1)
+	if _, err := permine.Annotate(res, other); err == nil {
+		t.Error("mismatched sequence accepted")
+	}
+}
+
+func TestMineBothStrands(t *testing.T) {
+	s, err := permine.GenerateGenomeLike(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := permine.Gap{N: 2, M: 4}
+	p := permine.Params{Gap: g, MinSupport: 0.001, MaxLen: 5}
+	both, err := permine.MineBothStrands(s, permine.AlgoMPP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) == 0 {
+		t.Fatal("no patterns")
+	}
+	fwd, err := permine.MPP(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := s.ReverseComplement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := permine.MPP(rc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merged set covers exactly the union.
+	seen := map[string]permine.StrandPattern{}
+	var nFwd, nRev int
+	for _, sp := range both {
+		seen[sp.Chars] = sp
+		if sp.Forward {
+			nFwd++
+		}
+		if sp.Reverse {
+			nRev++
+		}
+		if !sp.Forward && !sp.Reverse {
+			t.Errorf("%q on neither strand", sp.Chars)
+		}
+	}
+	if nFwd != len(fwd.Patterns) || nRev != len(rev.Patterns) {
+		t.Errorf("strand counts %d/%d, want %d/%d", nFwd, nRev, len(fwd.Patterns), len(rev.Patterns))
+	}
+	for _, pat := range fwd.Patterns {
+		sp, ok := seen[pat.Chars]
+		if !ok || !sp.Forward || sp.Support != pat.Support {
+			t.Errorf("forward pattern %q mismatched: %+v", pat.Chars, sp)
+		}
+	}
+	for _, pat := range rev.Patterns {
+		sp, ok := seen[pat.Chars]
+		if !ok || !sp.Reverse || sp.ReverseSupport != pat.Support {
+			t.Errorf("reverse pattern %q mismatched: %+v", pat.Chars, sp)
+		}
+	}
+	// Non-DNA alphabet and unsupported algorithm both error.
+	prot, _ := permine.GenerateProteinRepeat(300, 1)
+	if _, err := permine.MineBothStrands(prot, permine.AlgoMPP, p); err == nil {
+		t.Error("protein accepted")
+	}
+	if _, err := permine.MineBothStrands(s, permine.AlgoEnumerate, p); err == nil {
+		t.Error("enumerate accepted")
+	}
+}
+
+func TestMineAsyncPublic(t *testing.T) {
+	s, err := permine.NewDNASequence("a", "ACCACCACCACC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := permine.MineAsync(s, permine.AsyncParams{
+		MinPeriod: 3, MaxPeriod: 3, MinRep: 2, MaxDis: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range chains {
+		if c.Symbol == 'A' && c.Period == 3 && c.Reps == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("A~3 x4 missing: %v", chains)
+	}
+	if _, err := permine.MineAsync(s, permine.AsyncParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestMineWindowedPublic(t *testing.T) {
+	s, err := permine.NewDNASequence("w", "ATATATATCGCGCGCG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := permine.MineWindowed(s, permine.WindowParams{
+		Gap: permine.Gap{N: 0, M: 1}, Width: 8, MinWindows: 1,
+		Mode: permine.SlidingWindows, MaxLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 || res.NWindows != 9 {
+		t.Errorf("result: %d patterns, %d windows", len(res.Patterns), res.NWindows)
+	}
+}

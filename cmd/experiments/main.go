@@ -1,0 +1,221 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 6) and case study (Section 7) and prints the same
+// rows/series the paper reports.
+//
+//	experiments -all            # everything (several minutes)
+//	experiments -table 2        # the K_r worked example
+//	experiments -fig 4 -quick   # shortened threshold sweep
+//	experiments -case           # the §7 genome census
+//
+// Output shapes are compared against the paper in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"permine/internal/exp"
+	"permine/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all      = fs.Bool("all", false, "run every exhibit")
+		table    = fs.Int("table", 0, "run one table (2 or 3)")
+		fig      = fs.Int("fig", 0, "run one figure (4, 5, 6, 7 or 8)")
+		caseFlag = fs.Bool("case", false, "run the §7 case study census")
+		verify   = fs.Bool("verify", false, "re-run the exhibits and check every EXPERIMENTS.md shape claim")
+		quick    = fs.Bool("quick", false, "shortened sweeps")
+		plot     = fs.Bool("plot", false, "draw ASCII charts for the figures")
+		length   = fs.Int("L", 0, "override the subject sequence length (0 = paper default)")
+		seed     = fs.Uint64("seed", 0, "override the generator seed (0 = default)")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *workers, L: *length}
+	ccfg := exp.CaseConfig{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	ran := false
+	sep := func(name string) {
+		fmt.Fprintf(w, "\n========== %s ==========\n", name)
+	}
+	runOne := func(name string, f func() error) error {
+		ran = true
+		sep(name)
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *all || *table == 2 {
+		if err := runOne("Table 2", func() error {
+			rows, em, err := exp.RunTable2()
+			if err != nil {
+				return err
+			}
+			return exp.FprintTable2(w, rows, em)
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *table == 3 {
+		if err := runOne("Table 3", func() error {
+			rows, err := exp.RunTable3(cfg)
+			if err != nil {
+				return err
+			}
+			return exp.FprintTable3(w, cfg, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 4 {
+		if err := runOne("Figure 4", func() error {
+			rows, err := exp.RunFig4(cfg)
+			if err != nil {
+				return err
+			}
+			if err := exp.FprintFig4(w, cfg, rows); err != nil {
+				return err
+			}
+			if *plot {
+				xs := make([]string, len(rows))
+				worst := report.Series{Name: "MPP(worst)"}
+				mppm := report.Series{Name: "MPPm"}
+				best := report.Series{Name: "MPP(best)"}
+				for i, r := range rows {
+					xs[i] = fmt.Sprintf("%.4f", r.RhoPct)
+					worst.Values = append(worst.Values, r.WorstSec)
+					mppm.Values = append(mppm.Values, r.MPPmSec)
+					best.Values = append(best.Values, r.BestSec)
+				}
+				return report.LinePlot(w, "time (s) vs ρs (%)", xs, []report.Series{worst, mppm, best}, 14)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 5 {
+		if err := runOne("Figure 5", func() error {
+			rows, err := exp.RunFig5(cfg)
+			if err != nil {
+				return err
+			}
+			if err := exp.FprintFig5(w, cfg, rows); err != nil {
+				return err
+			}
+			if *plot {
+				bars := make([]report.Bar, len(rows))
+				for i, r := range rows {
+					bars[i] = report.Bar{Label: fmt.Sprintf("n=%d", r.N), Value: r.Seconds}
+				}
+				return report.BarChart(w, "MPP time vs user estimate n", "s", bars, 44)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 6 {
+		if err := runOne("Figure 6", func() error {
+			rows, err := exp.RunFig6(cfg)
+			if err != nil {
+				return err
+			}
+			if err := exp.FprintSweep(w, "Figure 6: MPPm under different gap flexibility W (N=9, m=8, ρs=0.003%)", "W", rows); err != nil {
+				return err
+			}
+			return plotSweep(w, *plot, "MPPm time vs W", "W", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 7 {
+		if err := runOne("Figure 7", func() error {
+			rows, err := exp.RunFig7(cfg)
+			if err != nil {
+				return err
+			}
+			if err := exp.FprintSweep(w, "Figure 7: MPPm under different minimum gap N (W=4, m=8, ρs=0.003%)", "N", rows); err != nil {
+				return err
+			}
+			return plotSweep(w, *plot, "MPPm time vs N", "N", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 8 {
+		if err := runOne("Figure 8", func() error {
+			c8 := cfg
+			c8.EmOrder = 10 // the paper's m for this exhibit
+			rows, err := exp.RunFig8(c8)
+			if err != nil {
+				return err
+			}
+			if err := exp.FprintSweep(w, "Figure 8: MPPm scalability in sequence length L (gap [9,12], m=10, ρs=0.003%)", "L", rows); err != nil {
+				return err
+			}
+			return plotSweep(w, *plot, "MPPm time vs L", "L", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if *all || *caseFlag {
+		if err := runOne("Case study (§7)", func() error {
+			r, err := exp.RunCaseStudy(ccfg)
+			if err != nil {
+				return err
+			}
+			return exp.FprintCaseStudy(w, ccfg, r)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if *verify {
+		if err := runOne("Verify shape claims", func() error {
+			claims, err := exp.Verify(cfg)
+			if err != nil {
+				return err
+			}
+			return exp.FprintClaims(w, claims)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("nothing selected: use -all, -table N, -fig N, -case or -verify")
+	}
+	return nil
+}
+
+// plotSweep renders one single-series sweep as a bar chart when enabled.
+func plotSweep(w io.Writer, enabled bool, title, xLabel string, rows []exp.SweepRow) error {
+	if !enabled {
+		return nil
+	}
+	bars := make([]report.Bar, len(rows))
+	for i, r := range rows {
+		bars[i] = report.Bar{Label: fmt.Sprintf("%s=%d", xLabel, r.X), Value: r.Seconds}
+	}
+	return report.BarChart(w, title, "s", bars, 44)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table 2") || !strings.Contains(got, "e_m = 2") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestRunQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick figures still mine; skipped with -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "5", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 5") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no selection accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plots run a figure sweep; skipped with -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "5", "-quick", "-plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "█") {
+		t.Errorf("plot missing bars:\n%s", out.String())
+	}
+}
+
+// TestRunAllExhibitsTiny drives every exhibit branch on a tiny subject so
+// the wiring (including -plot) is exercised end to end.
+func TestRunAllExhibitsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every exhibit; skipped with -short")
+	}
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-table", "3", "-L", "400"},
+		{"-fig", "4", "-quick", "-L", "400", "-plot"},
+		{"-fig", "6", "-quick", "-L", "300", "-plot"},
+		{"-fig", "7", "-quick", "-L", "300", "-plot"},
+		{"-fig", "8", "-quick", "-plot"},
+	} {
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	got := out.String()
+	for _, want := range []string{"Table 3", "Figure 4", "Figure 6", "Figure 7", "Figure 8", "legend"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command mpp mines periodic patterns with a gap requirement from a
+// sequence, using the algorithms of Zhang et al. (SIGMOD 2005).
+//
+// Input is FASTA on stdin or via -in; without input, -demo mines a
+// generated genome-like sequence. Examples:
+//
+//	mpp -in genome.fa -gapmin 9 -gapmax 12 -support 0.003 -algo mppm
+//	seqgen -kind genome -len 5000 | mpp -gapmin 9 -gapmax 12 -support 0.003
+//	mpp -demo -algo adaptive -v
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"permine"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mpp", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "FASTA input file (default: stdin)")
+		demo     = fs.Bool("demo", false, "mine a generated genome-like sequence instead of reading input")
+		demoLen  = fs.Int("demolen", 1000, "length of the -demo sequence")
+		seed     = fs.Uint64("seed", 20050711, "seed for -demo")
+		alphabet = fs.String("alphabet", "dna", "alphabet: dna, protein, or a custom symbol string")
+		gapMin   = fs.Int("gapmin", 9, "minimum gap N between successive pattern characters")
+		gapMax   = fs.Int("gapmax", 12, "maximum gap M between successive pattern characters")
+		support  = fs.Float64("support", 0.003, "support threshold ρs in percent (0.003 means 0.003%)")
+		algo     = fs.String("algo", "mppm", "algorithm: mpp, mppm, adaptive, enumerate")
+		maxLen   = fs.Int("n", 0, "MPP estimate of the longest frequent pattern length (0 = worst case l1)")
+		emOrder  = fs.Int("m", 8, "MPPm e_m order")
+		workers  = fs.Int("workers", 1, "worker goroutines for candidate counting")
+		verbose  = fs.Bool("v", false, "print per-level metrics")
+		maxPrint = fs.Int("top", 40, "print at most this many patterns (0 = all)")
+		query    = fs.String("pattern", "", "query mode: report support and first occurrences of this pattern (paper notation, e.g. 'A..Tg(9,12)C') instead of mining")
+		asJSON   = fs.Bool("json", false, "emit results as JSON (one object per subject sequence)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alpha, err := pickAlphabet(*alphabet)
+	if err != nil {
+		return err
+	}
+
+	var subjects []*permine.Sequence
+	switch {
+	case *demo:
+		s, err := permine.GenerateGenomeLike(*demoLen, *seed)
+		if err != nil {
+			return err
+		}
+		subjects = []*permine.Sequence{s}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		subjects, err = permine.ReadFASTA(f, alpha)
+		if err != nil {
+			return err
+		}
+	default:
+		subjects, err = permine.ReadFASTA(stdin, alpha)
+		if err != nil {
+			return fmt.Errorf("reading stdin (use -in FILE or -demo): %w", err)
+		}
+	}
+
+	params := permine.Params{
+		Gap:        permine.Gap{N: *gapMin, M: *gapMax},
+		MinSupport: *support / 100,
+		MaxLen:     *maxLen,
+		EmOrder:    *emOrder,
+		Workers:    *workers,
+	}
+
+	if *query != "" {
+		p, err := permine.ParsePattern(*query, params.Gap)
+		if err != nil {
+			return err
+		}
+		for _, s := range subjects {
+			sup, err := permine.SupportOf(s, p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s on %s (L=%d): sup = %d\n", p, s.Name(), s.Len(), sup)
+			occ, err := permine.Occurrences(s, p, 5)
+			if err != nil {
+				return err
+			}
+			for _, o := range occ {
+				fmt.Fprintf(stdout, "  at %v\n", o)
+			}
+			if int64(len(occ)) < sup {
+				fmt.Fprintf(stdout, "  ... and %d more occurrences\n", sup-int64(len(occ)))
+			}
+		}
+		return nil
+	}
+
+	for _, s := range subjects {
+		res, err := mineOne(s, *algo, params)
+		if errors.Is(err, permine.ErrBudgetExceeded) {
+			// The enumeration baseline is exponential by design; a
+			// truncated run still reports its completed levels.
+			fmt.Fprintln(stdout, "note: enumeration candidate budget exhausted; results below cover completed levels only")
+		} else if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintln(stdout, res.Summary())
+		if *verbose {
+			fmt.Fprintf(stdout, "%-6s %-12s %-10s %-10s %-9s %-12s\n",
+				"level", "candidates", "frequent", "kept", "lambda", "elapsed")
+			for _, lv := range res.Levels {
+				fmt.Fprintf(stdout, "%-6d %-12d %-10d %-10d %-9.4f %-12v\n",
+					lv.Level, lv.Candidates, lv.Frequent, lv.Kept, lv.Lambda, lv.Elapsed.Round(time.Microsecond))
+			}
+		}
+		limit := *maxPrint
+		if limit <= 0 || limit > len(res.Patterns) {
+			limit = len(res.Patterns)
+		}
+		// Longest first: those are the interesting ones.
+		for i := len(res.Patterns) - 1; i >= len(res.Patterns)-limit; i-- {
+			p := res.Patterns[i]
+			fmt.Fprintf(stdout, "  %-20s |P|=%-3d sup=%-10d ratio=%.4g%%\n",
+				p.Chars, p.Len(), p.Support, p.Ratio*100)
+		}
+		if limit < len(res.Patterns) {
+			fmt.Fprintf(stdout, "  ... and %d more (raise -top)\n", len(res.Patterns)-limit)
+		}
+	}
+	return nil
+}
+
+func mineOne(s *permine.Sequence, algo string, p permine.Params) (*permine.Result, error) {
+	switch strings.ToLower(algo) {
+	case "mpp":
+		return permine.MPP(s, p)
+	case "mppm":
+		return permine.MPPm(s, p)
+	case "adaptive":
+		return permine.Adaptive(s, p)
+	case "enumerate":
+		return permine.Enumerate(s, p)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want mpp, mppm, adaptive, enumerate)", algo)
+	}
+}
+
+func pickAlphabet(name string) (*permine.Alphabet, error) {
+	switch strings.ToLower(name) {
+	case "dna":
+		return permine.DNA, nil
+	case "protein":
+		return permine.Protein, nil
+	default:
+		return permine.NewAlphabet("custom", name)
+	}
+}

@@ -1,0 +1,158 @@
+// Command seqstat reports descriptive statistics of a sequence: base
+// composition, top k-mers, the paper's §1 base-pair oscillation profile,
+// tandem repeats (§1) and asynchronous periodic chains (§2). It is the
+// exploratory companion to the mpp miner: run it first to see whether a
+// sequence carries periodic structure, then mine with mpp.
+//
+//	seqgen -kind genome -len 5000 | seqstat
+//	seqstat -in genome.fa -pair AA -maxp 20 -tandem 8 -async 9:13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"permine"
+	"permine/internal/exp"
+	"permine/internal/seq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "seqstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("seqstat", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "FASTA input file (default: stdin)")
+		demo    = fs.Bool("demo", false, "analyse a generated genome-like sequence")
+		demoLen = fs.Int("demolen", 2000, "length of the -demo sequence")
+		seed    = fs.Uint64("seed", 20050711, "seed for -demo")
+		pair    = fs.String("pair", "AA", "ordered base pair for the oscillation profile (two symbols)")
+		maxP    = fs.Int("maxp", 20, "largest distance for the oscillation profile")
+		kmer    = fs.Int("kmer", 4, "k for the top-k-mer table (0 disables)")
+		topN    = fs.Int("top", 8, "entries in the top-k-mer table")
+		tandemP = fs.Int("tandem", 6, "max tandem-repeat period (0 disables)")
+		asyncR  = fs.String("async", "9:13", "asynchronous-period range min:max (empty disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var subjects []*permine.Sequence
+	switch {
+	case *demo:
+		s, err := permine.GenerateGenomeLike(*demoLen, *seed)
+		if err != nil {
+			return err
+		}
+		subjects = []*permine.Sequence{s}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		subjects, err = permine.ReadFASTA(f, permine.DNA)
+		if err != nil {
+			return err
+		}
+	default:
+		var err error
+		subjects, err = permine.ReadFASTA(stdin, permine.DNA)
+		if err != nil {
+			return fmt.Errorf("reading stdin (use -in FILE or -demo): %w", err)
+		}
+	}
+	if len(*pair) != 2 {
+		return fmt.Errorf("-pair must name exactly two symbols, got %q", *pair)
+	}
+
+	for _, s := range subjects {
+		if err := analyse(stdout, s, (*pair)[0], (*pair)[1], *maxP, *kmer, *topN, *tandemP, *asyncR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func analyse(w io.Writer, s *permine.Sequence, x, y byte, maxP, kmer, topN, tandemP int, asyncR string) error {
+	fmt.Fprintf(w, "== %v\n", s)
+	comp := seq.Compose(s)
+	fmt.Fprintf(w, "composition: %s (GC %.3f)\n", comp, comp.GC())
+
+	if kmer > 0 {
+		fmt.Fprintf(w, "\ntop %d-mers:\n", kmer)
+		for _, kc := range seq.TopKmers(s, kmer, topN) {
+			fmt.Fprintf(w, "  %-10s %d\n", kc.Kmer, kc.Count)
+		}
+	}
+
+	if maxP >= 2 {
+		rows, err := exp.OscillationProfile(s, x, y, maxP)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := exp.FprintOscillation(w, x, y, rows); err != nil {
+			return err
+		}
+	}
+
+	if tandemP > 0 {
+		reps, err := permine.FindTandemRepeats(s, tandemP, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntandem repeats (period <= %d, >= 3 copies): %d found\n", tandemP, len(reps))
+		for _, r := range permine.LongestTandemRepeats(reps, 5) {
+			fmt.Fprintf(w, "  %v\n", r)
+		}
+	}
+
+	if asyncR != "" {
+		lo, hi, err := parseRange(asyncR)
+		if err != nil {
+			return err
+		}
+		chains, err := permine.MineAsync(s, permine.AsyncParams{
+			MinPeriod: lo, MaxPeriod: hi, MinRep: 3, MaxDis: 50,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nasynchronous periodic chains (periods %d..%d):\n", lo, hi)
+		for i, c := range chains {
+			if i >= 5 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(chains)-5)
+				break
+			}
+			fmt.Fprintf(w, "  %v\n", c)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("range %q must be min:max", s)
+	}
+	lo, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", s, err)
+	}
+	hi, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", s, err)
+	}
+	return lo, hi, nil
+}

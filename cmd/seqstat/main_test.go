@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-demo", "-demolen", "2500"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"composition:", "top 4-mers", "oscillation", "peak at p=1", "tandem repeats", "asynchronous"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	fasta := ">x\n" + strings.Repeat("ACGT", 30) + "\n"
+	if err := run([]string{"-maxp", "8", "-tandem", "4", "-async", "2:4"}, strings.NewReader(fasta), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "GC 0.500") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunDisabledSections(t *testing.T) {
+	var out bytes.Buffer
+	fasta := ">x\nACGTACGTACGTACGTACGT\n"
+	if err := run([]string{"-kmer", "0", "-tandem", "0", "-async", "", "-maxp", "5"}, strings.NewReader(fasta), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "tandem repeats") {
+		t.Error("disabled tandem section printed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-demo", "-pair", "AAA"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad pair accepted")
+	}
+	if err := run([]string{"-demo", "-async", "bogus"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad async range accepted")
+	}
+	if err := run([]string{"-demo", "-async", "a:b"}, strings.NewReader(""), &out); err == nil {
+		t.Error("non-numeric range accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{}, strings.NewReader("garbage"), &out); err == nil {
+		t.Error("garbage stdin accepted")
+	}
+	if err := run([]string{"-demo", "-pair", "AX"}, strings.NewReader(""), &out); err == nil {
+		t.Error("non-DNA pair accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package permine_test
+
+import (
+	"fmt"
+	"log"
+
+	"permine"
+)
+
+// ExampleSupport reproduces the paper's Section 3 worked example:
+// S = AAGCC, P = AC under gap [2,3] has three matching offset sequences.
+func ExampleSupport() {
+	s, err := permine.NewDNASequence("example", "AAGCC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := permine.Support(s, "AC", permine.Gap{N: 2, M: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sup(AC) =", sup)
+	// Output:
+	// sup(AC) = 3
+}
+
+// ExampleCountOffsets shows the paper's Section 4.1 observation: for
+// L = 1000 and gap [9,12] there are about 235 million length-10 offset
+// sequences.
+func ExampleCountOffsets() {
+	n10, err := permine.CountOffsets(1000, 10, permine.Gap{N: 9, M: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("N10 =", n10)
+	// Output:
+	// N10 = 235012096
+}
+
+// ExampleMPP mines a tiny repetitive sequence with a perfect estimate of
+// the longest pattern length.
+func ExampleMPP() {
+	s, err := permine.NewDNASequence("tandem", "ATATATATATATATATATAT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := permine.MPP(s, permine.Params{
+		Gap:        permine.Gap{N: 1, M: 1}, // exactly one wild-card apart
+		MinSupport: 0.5,
+		MaxLen:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.ByLength(4) {
+		fmt.Println(p.Chars, p.Support)
+	}
+	// Output:
+	// AAAA 7
+	// TTTT 7
+}
+
+// ExampleParsePattern parses the paper's explicit pattern notation, with
+// a different gap between each character pair.
+func ExampleParsePattern() {
+	p, err := permine.ParsePattern("A..Tg(9,12)C", permine.Gap{N: 1, M: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p, "length", p.Len(), "span", p.MinSpan(), "to", p.MaxSpan())
+	// Output:
+	// A..Tg(9,12)C length 3 span 14 to 17
+}
+
+// ExampleFindTandemRepeats locates the kind of tandem run the paper's
+// introduction surveys.
+func ExampleFindTandemRepeats() {
+	s, err := permine.NewDNASequence("vntr", "GGGATATATATCCC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps, err := permine.FindTandemRepeats(s, 4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reps {
+		fmt.Println(r)
+	}
+	// Output:
+	// G x3+0 @ 0
+	// AT x4+0 @ 3
+	// C x3+0 @ 11
+}
+
+// ExampleSpanBounds evaluates the paper's Figure 1 example: with gap
+// [3,4] a length-3 pattern spans 9 to 11 sequence positions.
+func ExampleSpanBounds() {
+	lo, hi := permine.SpanBounds(3, permine.Gap{N: 3, M: 4})
+	fmt.Println(lo, hi)
+	// Output:
+	// 9 11
+}
+
+// ExampleMineWindowed shows the §2 window-count model on a tiny input.
+func ExampleMineWindowed() {
+	s, err := permine.NewDNASequence("w", "ATATATAT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := permine.MineWindowed(s, permine.WindowParams{
+		Gap: permine.Gap{N: 0, M: 1}, Width: 4, MinWindows: 5,
+		Mode: permine.SlidingWindows, StartLen: 2, MaxLen: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		fmt.Println(p.Chars, p.Windows, "of", res.NWindows)
+	}
+	// Output:
+	// AA 5 of 5
+	// AT 5 of 5
+	// TA 5 of 5
+	// TT 5 of 5
+}
+
+// ExampleMineAsync shows Yang et al.'s fixed-period model: A recurs every
+// 3 positions for six repetitions.
+func ExampleMineAsync() {
+	s, err := permine.NewDNASequence("a", "ACCACCACCACCACCACC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chains, err := permine.MineAsync(s, permine.AsyncParams{
+		MinPeriod: 3, MaxPeriod: 3, MinRep: 4, MaxDis: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range chains {
+		fmt.Println(c)
+	}
+	// Output:
+	// A~3 reps=6 span=16 @ 0 (1 segments)
+	// C~3 reps=6 span=16 @ 1 (1 segments)
+}

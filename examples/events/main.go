@@ -1,0 +1,111 @@
+// events mines periodic patterns from a non-biological sequence — a
+// synthetic system event log — showing (1) custom alphabets beyond DNA
+// and proteins, and (2) the paper's §2 contrast between the
+// gap-requirement model and the older window-based models: the variable
+// gap absorbs timing jitter, and patterns spanning window boundaries stay
+// visible.
+//
+//	go run ./examples/events
+//
+// The log's alphabet: h=heartbeat, r=request, w=write, e=error,
+// c=compact, i=idle. A maintenance cycle "c ... w ... e" recurs with
+// 6-8 events between its stages (jitter the fixed-period models cannot
+// express).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"permine"
+)
+
+func main() {
+	alpha, err := permine.NewAlphabet("events", "hrweci")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background traffic with a planted jittered maintenance cycle.
+	logSeq := buildEventLog(alpha, 4000)
+	fmt.Printf("subject: %v\n", logSeq)
+
+	// Gap [6,8]: stages of the cycle are 7±1 events apart.
+	gap := permine.Gap{N: 6, M: 8}
+	res, err := permine.MPPm(logSeq, permine.Params{
+		Gap:        gap,
+		MinSupport: 0.0002,
+		EmOrder:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+
+	// The maintenance signature should surface with high enrichment.
+	annotated, err := permine.Annotate(res, logSeq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost enriched patterns (observed/expected under IID):")
+	for i, a := range annotated {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-8s sup=%-8d ratio=%.4g%%  enrichment=%.1fx\n",
+			a.Chars, a.Support, a.Ratio*100, a.Enrichment)
+	}
+	if p, ok := res.Pattern("cwe"); ok {
+		fmt.Printf("\nmaintenance signature c→w→e found: sup=%d (%s)\n",
+			p.Support, p.Expand(gap.N, gap.M))
+	}
+
+	// Contrast with the fixed-window model (§2): cycles that straddle a
+	// window boundary are invisible there.
+	win, err := permine.MineWindowed(logSeq, permine.WindowParams{
+		Gap: gap, Width: 18, MinWindows: 40, Mode: permine.FixedWindows, StartLen: 3, MaxLen: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var winCWE *permine.WindowPattern
+	for i := range win.Patterns {
+		if win.Patterns[i].Chars == "cwe" {
+			winCWE = &win.Patterns[i]
+		}
+	}
+	fmt.Printf("\nfixed-window model (w=18): %d frequent length-3 patterns", len(win.Patterns))
+	if winCWE == nil {
+		fmt.Println("; the c→w→e cycle is NOT among them — it keeps straddling window boundaries (the paper's §2 critique)")
+	} else {
+		fmt.Printf("; c→w→e seen in %d/%d windows\n", winCWE.Windows, win.NWindows)
+	}
+}
+
+// buildEventLog makes a deterministic log: idle/request/heartbeat noise
+// with a c..w..e maintenance cycle every ~40 events, stages 7±1 apart.
+func buildEventLog(alpha *permine.Alphabet, n int) *permine.Sequence {
+	buf := make([]byte, n)
+	noise := []byte("hrrihir") // weighted background
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	for i := range buf {
+		buf[i] = noise[next(len(noise))]
+	}
+	for start := 5; start+16 < n; start += 40 + next(5) {
+		c := start
+		w := c + 7 + next(3) - 1 // 6..8 events later
+		e := w + 7 + next(3) - 1
+		buf[c], buf[w], buf[e] = 'c', 'w', 'e'
+	}
+	s, err := permine.NewSequence(alpha, "event-log", string(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+// protein mines periodic patterns from a protein sequence on the
+// 20-letter amino-acid alphabet — the paper's other target domain (§1
+// cites the porcine ribonuclease inhibitor's leucine-rich 28/29-residue
+// repeat, whose α-helices put hydrophobic residues ~3.5 positions apart
+// and leucines ~14 apart).
+//
+//	go run ./examples/protein
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"permine"
+)
+
+func main() {
+	// A synthetic protein with a planted leucine-rich repeat region of
+	// period ~14 (see DESIGN.md §5 for the substitution rationale).
+	s, err := permine.GenerateProteinRepeat(2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subject: %v (alphabet %s, %d symbols)\n", s, s.Alphabet().Name(), s.Alphabet().Size())
+
+	// Gap [12,15] targets residues about one repeat period apart, the
+	// protein analogue of the DNA helix-turn gap.
+	gap := permine.Gap{N: 12, M: 15}
+
+	// 0.005%: far above the 20-letter random-match floor (0.05^l), so
+	// only the planted repeat's phase-locked chains survive.
+	res, err := permine.MPPm(s, permine.Params{
+		Gap:        gap,
+		MinSupport: 5e-5,
+		EmOrder:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+
+	// Periodic leucine chains are the repeat's signature.
+	fmt.Println("\nlongest frequent patterns:")
+	for _, p := range res.ByLength(res.Longest()) {
+		fmt.Printf("  %-12s sup=%-8d ratio=%.3g%%\n", p.Chars, p.Support, p.Ratio*100)
+	}
+	lChain := strings.Repeat("L", 3)
+	if p, ok := res.Pattern(lChain); ok {
+		fmt.Printf("\nleucine chain %s (one per repeat period): sup=%d ratio=%.3g%%\n",
+			p.Chars, p.Support, p.Ratio*100)
+	}
+
+	// Contrast with a repeat-free random protein: the periodic patterns
+	// disappear.
+	bg, err := permine.GenerateUniform(permine.Protein, "random-protein", 2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bgRes, err := permine.MPPm(bg, permine.Params{Gap: gap, MinSupport: 5e-5, EmOrder: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontrol (uniform protein): %d frequent patterns, longest %d (repeat region: %d, longest %d)\n",
+		len(bgRes.Patterns), bgRes.Longest(), len(res.Patterns), res.Longest())
+}

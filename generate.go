@@ -1,0 +1,70 @@
+package permine
+
+import (
+	"permine/internal/gen"
+	"permine/internal/tandem"
+)
+
+// The generators below produce the deterministic synthetic sequences the
+// repository uses in place of the paper's NCBI data (see DESIGN.md §5).
+// All are reproducible bit-for-bit from (length, seed).
+
+// GenerateUniform returns an IID-uniform sequence over the alphabet.
+func GenerateUniform(alpha *Alphabet, name string, length int, seed uint64) (*Sequence, error) {
+	return gen.Uniform(alpha, name, length, seed)
+}
+
+// GenerateWeighted returns an IID sequence with per-symbol weights in
+// alphabet code order (normalised internally).
+func GenerateWeighted(alpha *Alphabet, name string, length int, weights []float64, seed uint64) (*Sequence, error) {
+	return gen.Weighted(alpha, name, length, weights, seed)
+}
+
+// GenerateMarkov returns a sequence from a first-order Markov chain with
+// the given row-stochastic transition matrix in code order.
+func GenerateMarkov(alpha *Alphabet, name string, length int, trans [][]float64, seed uint64) (*Sequence, error) {
+	return gen.Markov(alpha, name, length, trans, seed)
+}
+
+// GenerateGenomeLike models the paper's human DNA fragment AX829174: a
+// realistic base composition plus a phased helical-turn (period 11)
+// region. It is the default subject of the benchmark harness.
+func GenerateGenomeLike(length int, seed uint64) (*Sequence, error) {
+	return gen.GenomeLike(length, seed)
+}
+
+// GenerateBacterialLike models the paper's AT-rich bacterial genomes
+// (§7 case study).
+func GenerateBacterialLike(length int, seed uint64) (*Sequence, error) {
+	return gen.BacterialLike(length, seed)
+}
+
+// GenerateEukaryoteLike models the paper's higher-eukaryote sequences:
+// weaker AT skew, a G-rich patch and a poly-G tract (§7 case study).
+func GenerateEukaryoteLike(length int, seed uint64) (*Sequence, error) {
+	return gen.EukaryoteLike(length, seed)
+}
+
+// GenerateProteinRepeat models the leucine-rich alternating repeat of the
+// paper's porcine ribonuclease inhibitor example on the 20-letter
+// alphabet.
+func GenerateProteinRepeat(length int, seed uint64) (*Sequence, error) {
+	return gen.ProteinRepeat(length, seed)
+}
+
+// FindTandemRepeats reports the maximal exact tandem runs of s with
+// period up to maxPeriod and at least minCopies complete copies — the
+// classic periodic-pattern class the paper's introduction surveys (§1),
+// provided as a companion analysis to the gap-requirement miner.
+func FindTandemRepeats(s *Sequence, maxPeriod, minCopies int) ([]TandemRepeat, error) {
+	return tandem.Find(s, maxPeriod, minCopies)
+}
+
+// LongestTandemRepeats ranks repeats by total length (ties by position),
+// truncated to limit entries.
+func LongestTandemRepeats(reps []TandemRepeat, limit int) []TandemRepeat {
+	return tandem.Longest(reps, limit)
+}
+
+// TandemRepeat is one maximal tandem run (unit, copies, trailing part).
+type TandemRepeat = tandem.Repeat

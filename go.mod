@@ -1,0 +1,3 @@
+module permine
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package async implements a core of Yang, Wang and Yu's asynchronous
+// periodic pattern model (KDD 2000), the third related-work model the
+// paper surveys in Section 2: patterns that repeat with a fixed period p
+// but whose occurrence may shift over time, tolerating stretches of
+// random noise ("disturbance") between valid repetition segments.
+//
+// The unit mined here is the 1-pattern: a (symbol, period) pair, i.e.
+// "symbol s recurs every p positions". A maximal valid segment is a run
+// of at least MinRep consecutive on-period repetitions; a subsequence
+// chains segments of the same (symbol, period) as long as each
+// inter-segment disturbance is at most MaxDis positions. The mined
+// result, per (symbol, period), is the longest such chain — Yang et
+// al.'s "longest single pattern" primitive.
+//
+// The package exists for model comparison: unlike the gap-requirement
+// miner, the period here is fixed per pattern (the paper's §2 point —
+// Yang et al. allow a *range of periods to try*, but each pattern lives
+// at one exact period, so helix-turn jitter within one occurrence chain
+// is out of reach).
+package async
+
+import (
+	"fmt"
+	"sort"
+
+	"permine/internal/seq"
+)
+
+// Params configures the asynchronous miner.
+type Params struct {
+	// MinPeriod and MaxPeriod bound the periods tried.
+	MinPeriod, MaxPeriod int
+	// MinRep is the minimum number of consecutive repetitions for a
+	// segment to be valid (Yang et al.'s min_rep).
+	MinRep int
+	// MaxDis is the maximum disturbance (in positions) allowed between
+	// chained segments (Yang et al.'s max_dis).
+	MaxDis int
+	// MinLength discards chains covering fewer than this many
+	// positions overall (0 keeps everything).
+	MinLength int
+}
+
+func (p Params) validate(L int) error {
+	if p.MinPeriod < 1 || p.MaxPeriod < p.MinPeriod {
+		return fmt.Errorf("async: period range [%d,%d] invalid", p.MinPeriod, p.MaxPeriod)
+	}
+	if p.MaxPeriod > L {
+		return fmt.Errorf("async: max period %d exceeds sequence length %d", p.MaxPeriod, L)
+	}
+	if p.MinRep < 2 {
+		return fmt.Errorf("async: MinRep %d must be >= 2", p.MinRep)
+	}
+	if p.MaxDis < 0 {
+		return fmt.Errorf("async: MaxDis %d must be >= 0", p.MaxDis)
+	}
+	if p.MinLength < 0 {
+		return fmt.Errorf("async: MinLength %d must be >= 0", p.MinLength)
+	}
+	return nil
+}
+
+// Segment is one maximal run of on-period repetitions.
+type Segment struct {
+	Start int // position of the first repetition
+	Reps  int // number of occurrences in the run (>= MinRep)
+}
+
+// Chain is the longest valid subsequence for one (symbol, period).
+type Chain struct {
+	Symbol   byte
+	Period   int
+	Segments []Segment
+	// Reps is the total number of occurrences across the chain.
+	Reps int
+	// Span is End-Start+1 of the chained region.
+	Span int
+}
+
+// Start returns the chain's first position.
+func (c Chain) Start() int {
+	if len(c.Segments) == 0 {
+		return 0
+	}
+	return c.Segments[0].Start
+}
+
+// End returns the position of the last occurrence in the chain.
+func (c Chain) End() int {
+	if len(c.Segments) == 0 {
+		return 0
+	}
+	last := c.Segments[len(c.Segments)-1]
+	return last.Start + (last.Reps-1)*c.Period
+}
+
+// String renders e.g. "A~7 reps=12 span=85 @ 3 (2 segments)".
+func (c Chain) String() string {
+	return fmt.Sprintf("%c~%d reps=%d span=%d @ %d (%d segments)",
+		c.Symbol, c.Period, c.Reps, c.Span, c.Start(), len(c.Segments))
+}
+
+// Mine finds, for every symbol and every period in range, the longest
+// valid chain; chains below MinLength span are dropped. Results are
+// sorted by decreasing total repetitions, ties by symbol then period.
+func Mine(s *seq.Sequence, p Params) ([]Chain, error) {
+	if err := p.validate(s.Len()); err != nil {
+		return nil, err
+	}
+	var out []Chain
+	alpha := s.Alphabet()
+	for period := p.MinPeriod; period <= p.MaxPeriod; period++ {
+		for code := 0; code < alpha.Size(); code++ {
+			c := longestChain(s, alpha.Symbol(code), period, p)
+			if c.Reps > 0 && c.Span >= p.MinLength {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reps != out[j].Reps {
+			return out[i].Reps > out[j].Reps
+		}
+		if out[i].Symbol != out[j].Symbol {
+			return out[i].Symbol < out[j].Symbol
+		}
+		return out[i].Period < out[j].Period
+	})
+	return out, nil
+}
+
+// longestChain computes Yang et al.'s longest single pattern for one
+// (symbol, period): first the maximal valid segments, then a linear DP
+// over segments that chains them under the disturbance bound, maximising
+// total repetitions.
+func longestChain(s *seq.Sequence, symbol byte, period int, p Params) Chain {
+	segs := validSegments(s, symbol, period, p.MinRep)
+	if len(segs) == 0 {
+		return Chain{Symbol: symbol, Period: period}
+	}
+	// best[i]: max total reps of a chain ending at segment i; prev[i]
+	// backlink. Segments are few; the disturbance window keeps the
+	// scan short in practice, and a quadratic fallback is fine at the
+	// segment counts real sequences produce.
+	best := make([]int, len(segs))
+	prev := make([]int, len(segs))
+	for i := range segs {
+		best[i] = segs[i].Reps
+		prev[i] = -1
+		for j := 0; j < i; j++ {
+			endJ := segs[j].Start + (segs[j].Reps-1)*period
+			dis := segs[i].Start - endJ - 1
+			if dis < 0 || dis > p.MaxDis {
+				continue
+			}
+			if best[j]+segs[i].Reps > best[i] {
+				best[i] = best[j] + segs[i].Reps
+				prev[i] = j
+			}
+		}
+	}
+	argmax := 0
+	for i := range best {
+		if best[i] > best[argmax] {
+			argmax = i
+		}
+	}
+	var picked []Segment
+	for i := argmax; i >= 0; i = prev[i] {
+		picked = append(picked, segs[i])
+	}
+	for l, r := 0, len(picked)-1; l < r; l, r = l+1, r-1 {
+		picked[l], picked[r] = picked[r], picked[l]
+	}
+	c := Chain{Symbol: symbol, Period: period, Segments: picked, Reps: best[argmax]}
+	c.Span = c.End() - c.Start() + 1
+	return c
+}
+
+// validSegments finds the maximal runs of exact on-period repetitions of
+// the symbol with at least minRep occurrences.
+func validSegments(s *seq.Sequence, symbol byte, period, minRep int) []Segment {
+	L := s.Len()
+	var segs []Segment
+	// run[i]: number of consecutive occurrences starting at i with step
+	// `period`; computed right to left per residue class implicitly.
+	run := make([]int, L)
+	for i := L - 1; i >= 0; i-- {
+		if s.At(i) != symbol {
+			continue
+		}
+		if i+period < L && s.At(i+period) == symbol {
+			run[i] = run[i+period] + 1
+		} else {
+			run[i] = 1
+		}
+	}
+	for i := 0; i < L; i++ {
+		if run[i] == 0 {
+			continue
+		}
+		// Maximal: no occurrence one period earlier.
+		if i-period >= 0 && s.At(i-period) == symbol {
+			continue
+		}
+		if run[i] >= minRep {
+			segs = append(segs, Segment{Start: i, Reps: run[i]})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+	return segs
+}

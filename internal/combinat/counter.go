@@ -1,0 +1,238 @@
+package combinat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Counter computes offset-sequence counts Nl and pruning factors λ(l,d)
+// for a fixed subject-sequence length L and gap requirement. Results are
+// memoised; a Counter is cheap to create and not safe for concurrent use
+// (each goroutine should own one, or use the read-only float snapshots).
+type Counter struct {
+	L   int
+	Gap Gap
+
+	l1, l2 int
+
+	// fMemo[key(l,i)] memoises the Appendix's f(l, i): the number of
+	// length-l offset sequences [1, c2..cl] with cl <= L' where
+	// i = maxspan(l) - L'. Only 1 <= i <= (l-1)(W-1) entries are stored;
+	// i <= 0 is W^(l-1) and larger i is zero (Equations 6 and 7).
+	fMemo map[fKey]*big.Int
+
+	nlMemo map[int]*big.Int
+
+	powW []*big.Int // powW[k] = W^k, grown on demand
+}
+
+type fKey struct{ l, i int }
+
+// NewCounter validates the inputs and builds a Counter.
+func NewCounter(L int, g Gap) (*Counter, error) {
+	if L <= 0 {
+		return nil, fmt.Errorf("combinat: sequence length L=%d must be positive", L)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Counter{
+		L:      L,
+		Gap:    g,
+		l1:     L1(L, g),
+		l2:     L2(L, g),
+		fMemo:  make(map[fKey]*big.Int),
+		nlMemo: make(map[int]*big.Int),
+		powW:   []*big.Int{big.NewInt(1)},
+	}, nil
+}
+
+// MustCounter is NewCounter that panics on error (tests and examples).
+func MustCounter(L int, g Gap) *Counter {
+	c, err := NewCounter(L, g)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// L1 returns the longest pattern length whose maximum span fits in L.
+func (c *Counter) L1() int { return c.l1 }
+
+// L2 returns the longest pattern length whose minimum span fits in L.
+func (c *Counter) L2() int { return c.l2 }
+
+// PowW returns W^k as a shared big.Int; the caller must not modify it.
+func (c *Counter) PowW(k int) *big.Int {
+	w := big.NewInt(int64(c.Gap.W()))
+	for len(c.powW) <= k {
+		next := new(big.Int).Mul(c.powW[len(c.powW)-1], w)
+		c.powW = append(c.powW, next)
+	}
+	return c.powW[k]
+}
+
+// F computes the Appendix's f(l, i): the number of length-l offset
+// sequences starting at the first position of a subject sequence of length
+// maxspan(l) - i. Defined for l >= 1.
+func (c *Counter) F(l, i int) *big.Int {
+	if l < 1 {
+		return big.NewInt(0)
+	}
+	wm1 := c.Gap.W() - 1
+	if i <= 0 {
+		return c.PowW(l - 1) // Equation 6
+	}
+	if i > (l-1)*wm1 {
+		return big.NewInt(0) // Equation 7
+	}
+	key := fKey{l, i}
+	if v, ok := c.fMemo[key]; ok {
+		return v
+	}
+	// Equation 8: f(l, i) = sum over j in [1, W] of f(l-1, i - W + j).
+	sum := new(big.Int)
+	W := c.Gap.W()
+	for j := 1; j <= W; j++ {
+		sum.Add(sum, c.F(l-1, i-W+j))
+	}
+	c.fMemo[key] = sum
+	return sum
+}
+
+// Nl returns the exact number of distinct length-l offset sequences in a
+// subject sequence of length L (the paper's Nl). The caller must not
+// modify the returned value.
+//
+// The three cases of Section 4.1 are unified as
+//
+//	Nl = Σ_{i = maxspan(l)-L}^{maxspan(l)-1} f(l, i)
+//
+// where terms with i <= 0 equal W^(l-1) and terms with i > (l-1)(W-1)
+// vanish. For l <= l1 this telescopes to the closed form of Theorem 4.
+func (c *Counter) Nl(l int) *big.Int {
+	if l < 1 || l > c.l2 {
+		return big.NewInt(0)
+	}
+	if v, ok := c.nlMemo[l]; ok {
+		return v
+	}
+	var v *big.Int
+	if l <= c.l1 {
+		v = c.nlClosed(l)
+	} else {
+		v = c.nlBoundary(l)
+	}
+	c.nlMemo[l] = v
+	return v
+}
+
+// nlClosed evaluates Theorem 4:
+//
+//	Nl = [L - (l-1)((M+N)/2 + 1)] * W^(l-1)
+//	   = (2L - (l-1)(M+N+2)) * W^(l-1) / 2
+//
+// in exact integer arithmetic. When M+N is odd, W = M-N+1 is even, so the
+// division by two is exact for l >= 2; l = 1 gives N1 = L directly.
+func (c *Counter) nlClosed(l int) *big.Int {
+	if l == 1 {
+		return big.NewInt(int64(c.L))
+	}
+	coef := big.NewInt(int64(2*c.L - (l-1)*(c.Gap.M+c.Gap.N+2)))
+	v := new(big.Int).Mul(coef, c.PowW(l-1))
+	return v.Rsh(v, 1)
+}
+
+// nlBoundary evaluates the Case 3 sum Nl = Σ_{i=maxspan(l)-L}^{(l-1)(W-1)} f(l, i).
+func (c *Counter) nlBoundary(l int) *big.Int {
+	lo := MaxSpan(l, c.Gap) - c.L
+	hi := (l - 1) * (c.Gap.W() - 1)
+	sum := new(big.Int)
+	if lo <= 0 {
+		// i <= 0 terms each contribute W^(l-1).
+		k := big.NewInt(int64(1 - lo)) // number of i in [lo, 0]
+		sum.Mul(k, c.PowW(l-1))
+		lo = 1
+	}
+	for i := lo; i <= hi; i++ {
+		sum.Add(sum, c.F(l, i))
+	}
+	return sum
+}
+
+// NlFloat returns Nl as a float64 (exactly representable values convert
+// exactly; very large values may round, which is fine for thresholding).
+func (c *Counter) NlFloat(l int) float64 {
+	f, _ := new(big.Float).SetInt(c.Nl(l)).Float64()
+	return f
+}
+
+// Lambda returns the Theorem 1 pruning factor
+//
+//	λ(l, d) = Nl / (N(l-d) · W^d)
+//
+// as a float64. It returns 1 for d <= 0, and 0 when N(l) is zero. For
+// l <= l1 this equals the closed form
+// [L-(l-1)(c)] / [L-(l-d-1)(c)], c = (M+N)/2 + 1 (Equation 4).
+func (c *Counter) Lambda(l, d int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if l-d < 1 {
+		return 0
+	}
+	if l <= c.l1 {
+		// Closed form: the W^d factors cancel, no big arithmetic
+		// needed. Keeps λ cheap when l1 is large (long sequences).
+		return LambdaClosed(c.L, l, d, c.Gap)
+	}
+	r := c.LambdaRat(l, d)
+	f, _ := r.Float64()
+	return f
+}
+
+// LambdaRat returns λ(l, d) as an exact rational.
+func (c *Counter) LambdaRat(l, d int) *big.Rat {
+	if d <= 0 {
+		return big.NewRat(1, 1)
+	}
+	num := c.Nl(l)
+	if num.Sign() == 0 {
+		return new(big.Rat)
+	}
+	den := new(big.Int).Mul(c.Nl(l-d), c.PowW(d))
+	if den.Sign() == 0 {
+		return new(big.Rat)
+	}
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// LambdaClosed evaluates Equation 4's closed form for λ(l,d), valid for
+// l <= l1. Exposed separately so tests can confirm it agrees with the
+// exact definition.
+func LambdaClosed(L, l, d int, g Gap) float64 {
+	cst := float64(g.M+g.N)/2 + 1
+	num := float64(L) - float64(l-1)*cst
+	den := float64(L) - float64(l-d-1)*cst
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// FSumIdentity returns the two sides of Theorem 3 for the given l:
+//
+//	Σ_{i=1}^{(l-1)(W-1)} f(l, i)  and  (l-1)/2 · (W-1) · W^(l-1)
+//
+// as exact integers (the right side doubled on both to stay integral).
+// Tests assert the equality.
+func (c *Counter) FSumIdentity(l int) (lhs2, rhs2 *big.Int) {
+	sum := new(big.Int)
+	hi := (l - 1) * (c.Gap.W() - 1)
+	for i := 1; i <= hi; i++ {
+		sum.Add(sum, c.F(l, i))
+	}
+	lhs2 = sum.Lsh(sum, 1) // 2·Σ f
+	rhs2 = new(big.Int).Mul(big.NewInt(int64((l-1)*(c.Gap.W()-1))), c.PowW(l-1))
+	return lhs2, rhs2
+}

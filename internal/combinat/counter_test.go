@@ -1,0 +1,238 @@
+package combinat_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"permine/internal/combinat"
+	"permine/internal/oracle"
+)
+
+func TestNlPaperExample(t *testing.T) {
+	// Paper §4.1 Case 2 example: L=1000, [9,12], N10 "about 235 million".
+	c := combinat.MustCounter(1000, combinat.Gap{N: 9, M: 12})
+	n10 := c.Nl(10)
+	// Exact: (2*1000 - 9*(9+12+2)) * 4^9 / 2 = (2000-207)*262144/2.
+	want := new(big.Int).Mul(big.NewInt(1793), big.NewInt(262144))
+	want.Rsh(want, 1)
+	if n10.Cmp(want) != 0 {
+		t.Fatalf("N10 = %v, want %v", n10, want)
+	}
+	f := c.NlFloat(10)
+	if f < 230e6 || f > 240e6 {
+		t.Errorf("N10 ≈ %.3g, paper says about 235 million", f)
+	}
+}
+
+func TestNlZeroBeyondL2(t *testing.T) {
+	c := combinat.MustCounter(50, combinat.Gap{N: 2, M: 4})
+	l2 := c.L2()
+	if c.Nl(l2).Sign() <= 0 {
+		t.Errorf("Nl(l2=%d) = %v, want > 0", l2, c.Nl(l2))
+	}
+	for l := l2 + 1; l <= l2+5; l++ {
+		if c.Nl(l).Sign() != 0 {
+			t.Errorf("Nl(%d) = %v, want 0 beyond l2=%d", l, c.Nl(l), l2)
+		}
+	}
+	if c.Nl(0).Sign() != 0 || c.Nl(-3).Sign() != 0 {
+		t.Error("Nl of non-positive lengths should be 0")
+	}
+}
+
+func TestNlLengthOne(t *testing.T) {
+	c := combinat.MustCounter(123, combinat.Gap{N: 5, M: 9})
+	if got := c.Nl(1); got.Cmp(big.NewInt(123)) != 0 {
+		t.Errorf("N1 = %v, want L = 123", got)
+	}
+}
+
+// TestNlAgainstOracle enumerates offset sequences by brute force and
+// compares with the analytic Nl across all three cases (closed form,
+// boundary recursion, zero), for several gap requirements.
+func TestNlAgainstOracle(t *testing.T) {
+	gaps := []combinat.Gap{
+		{N: 0, M: 0}, {N: 0, M: 2}, {N: 1, M: 2}, {N: 2, M: 4},
+		{N: 1, M: 1}, {N: 3, M: 7}, {N: 2, M: 3},
+	}
+	for _, g := range gaps {
+		for _, L := range []int{1, 3, 7, 12, 20, 33} {
+			c := combinat.MustCounter(L, g)
+			maxL := c.L2() + 2
+			if combinat.MinSpan(maxL, g) > 26 && g.W() > 3 {
+				maxL = c.L1() + 2 // keep brute force tractable
+			}
+			for l := 1; l <= maxL; l++ {
+				if float64(l-1)*math.Log(float64(g.W())) > 18 {
+					break // > ~6.5e7 offset sequences: too slow
+				}
+				want, err := oracle.CountOffsets(L, l, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := c.Nl(l)
+				if got.Cmp(big.NewInt(want)) != 0 {
+					t.Errorf("L=%d g=%v l=%d: Nl=%v, oracle=%d (l1=%d l2=%d)",
+						L, g, l, got, want, c.L1(), c.L2())
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem3Identity checks Σ_{i=1}^{(l-1)(W-1)} f(l,i) =
+// (l-1)/2 (W-1) W^(l-1) for a range of l and gaps.
+func TestTheorem3Identity(t *testing.T) {
+	for _, g := range []combinat.Gap{{N: 0, M: 1}, {N: 1, M: 3}, {N: 9, M: 12}, {N: 2, M: 6}} {
+		c := combinat.MustCounter(100, g)
+		for l := 2; l <= 12; l++ {
+			lhs2, rhs2 := c.FSumIdentity(l)
+			if lhs2.Cmp(rhs2) != 0 {
+				t.Errorf("g=%v l=%d: 2Σf = %v, want %v", g, l, lhs2, rhs2)
+			}
+		}
+	}
+}
+
+func TestFBaseCases(t *testing.T) {
+	g := combinat.Gap{N: 2, M: 5}
+	c := combinat.MustCounter(100, g)
+	w := g.W()
+	// Equation 6: f(l, i) = W^(l-1) for i <= 0.
+	for _, i := range []int{0, -1, -7} {
+		for l := 1; l <= 6; l++ {
+			want := new(big.Int).Exp(big.NewInt(int64(w)), big.NewInt(int64(l-1)), nil)
+			if got := c.F(l, i); got.Cmp(want) != 0 {
+				t.Errorf("f(%d,%d) = %v, want W^%d = %v", l, i, got, l-1, want)
+			}
+		}
+	}
+	// Equation 7: f(l, i) = 0 for i > (l-1)(W-1).
+	for l := 1; l <= 6; l++ {
+		i := (l-1)*(w-1) + 1
+		if got := c.F(l, i); got.Sign() != 0 {
+			t.Errorf("f(%d,%d) = %v, want 0", l, i, got)
+		}
+	}
+	// Appendix base case: f(2, i) = W - i for 1 <= i <= W-1.
+	for i := 1; i <= w-1; i++ {
+		if got := c.F(2, i); got.Cmp(big.NewInt(int64(w-i))) != 0 {
+			t.Errorf("f(2,%d) = %v, want %d", i, got, w-i)
+		}
+	}
+}
+
+func TestLambdaClosedMatchesExact(t *testing.T) {
+	c := combinat.MustCounter(1000, combinat.Gap{N: 9, M: 12})
+	for l := 2; l <= c.L1(); l += 5 {
+		for d := 1; d < l; d += 3 {
+			exact := c.Lambda(l, d)
+			closed := combinat.LambdaClosed(1000, l, d, c.Gap)
+			if math.Abs(exact-closed) > 1e-9*math.Max(1, math.Abs(closed)) {
+				t.Errorf("λ(%d,%d): exact %v vs closed %v", l, d, exact, closed)
+			}
+		}
+	}
+}
+
+// TestLambdaTransitivity checks Equation 3:
+// λ(l, d1+d2) = λ(l, d1) · λ(l-d1, d2).
+func TestLambdaTransitivity(t *testing.T) {
+	c := combinat.MustCounter(500, combinat.Gap{N: 4, M: 7})
+	for l := 3; l <= 20; l++ {
+		for d1 := 0; d1 < l-1; d1++ {
+			for d2 := 0; d1+d2 < l-1; d2++ {
+				lhs := c.LambdaRat(l, d1+d2)
+				rhs := new(big.Rat).Mul(c.LambdaRat(l, d1), c.LambdaRat(l-d1, d2))
+				if lhs.Cmp(rhs) != 0 {
+					t.Fatalf("λ(%d,%d+%d): %v != %v·%v", l, d1, d2, lhs, c.LambdaRat(l, d1), c.LambdaRat(l-d1, d2))
+				}
+			}
+		}
+	}
+}
+
+func TestLambdaBounds(t *testing.T) {
+	c := combinat.MustCounter(1000, combinat.Gap{N: 9, M: 12})
+	if got := c.Lambda(10, 0); got != 1 {
+		t.Errorf("λ(10,0) = %v, want 1", got)
+	}
+	for l := 2; l <= c.L1(); l++ {
+		for d := 1; d < l; d++ {
+			lam := c.Lambda(l, d)
+			if lam <= 0 || lam > 1 {
+				t.Errorf("λ(%d,%d) = %v out of (0,1]", l, d, lam)
+			}
+			// λ is monotonically non-increasing in d for fixed l.
+			if d > 1 && lam > c.Lambda(l, d-1)+1e-15 {
+				t.Errorf("λ(%d,%d) = %v > λ(%d,%d)", l, d, lam, l, d-1)
+			}
+		}
+	}
+}
+
+// TestNlClosedProperty cross-checks the closed form against a direct big
+// evaluation on random parameters via testing/quick.
+func TestNlClosedProperty(t *testing.T) {
+	f := func(lRaw, nRaw, wRaw uint8, lenRaw uint16) bool {
+		N := int(nRaw % 8)
+		W := int(wRaw%5) + 1
+		g := combinat.Gap{N: N, M: N + W - 1}
+		L := int(lenRaw%2000) + combinat.MaxSpan(3, g) + 1
+		c := combinat.MustCounter(L, g)
+		l := 2 + int(lRaw)%(c.L1()-1)
+		// Direct: Nl = (L - maxspan(l) + 1)·W^(l-1) + (l-1)/2·(W-1)·W^(l-1),
+		// by Theorem 4's proof decomposition.
+		wl := new(big.Int).Exp(big.NewInt(int64(W)), big.NewInt(int64(l-1)), nil)
+		first := new(big.Int).Mul(big.NewInt(int64(L-combinat.MaxSpan(l, g)+1)), wl)
+		// The halving is exact: if (l-1)(W-1) is odd then W is even,
+		// so W^(l-1) is even (l >= 2).
+		second := new(big.Int).Mul(big.NewInt(int64((l-1)*(W-1))), wl)
+		second.Rsh(second, 1)
+		want := first.Add(first, second)
+		return c.Nl(l).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambdaDecreasingInN pins the mechanism behind the paper's Figure 7:
+// for fixed l, d, L and W, λ(l, d) decreases as the minimum gap N grows,
+// so pruning weakens.
+func TestLambdaDecreasingInN(t *testing.T) {
+	const L, W = 1000, 4
+	for l := 10; l <= 40; l += 10 {
+		for d := 1; d <= 5; d++ {
+			prev := 2.0
+			for N := 2; N <= 14; N++ {
+				c := combinat.MustCounter(L, combinat.Gap{N: N, M: N + W - 1})
+				if l > c.L1() {
+					continue
+				}
+				lam := c.Lambda(l, d)
+				if lam >= prev {
+					t.Errorf("λ(l=%d,d=%d) not decreasing at N=%d: %v >= %v", l, d, N, lam, prev)
+				}
+				prev = lam
+			}
+		}
+	}
+}
+
+// TestNlGrowsWithW: for fixed L and l <= l1, Nl increases with the gap
+// flexibility W (the paper's Figure 6 driver).
+func TestNlGrowsWithW(t *testing.T) {
+	const L, N, l = 1000, 9, 8
+	prev := big.NewInt(-1)
+	for W := 1; W <= 8; W++ {
+		c := combinat.MustCounter(L, combinat.Gap{N: N, M: N + W - 1})
+		nl := c.Nl(l)
+		if nl.Cmp(prev) <= 0 {
+			t.Errorf("N%d at W=%d (%v) did not grow past %v", l, W, nl, prev)
+		}
+		prev = nl
+	}
+}

@@ -1,0 +1,66 @@
+// Package combinat implements the counting mathematics of the paper's
+// Section 4 and Appendix: spans, the offset-sequence count Nl (Theorems 3
+// and 4 plus the recursive boundary case), and the apriori-like pruning
+// factor λ(l,d) of Theorem 1.
+//
+// All formulas are parameterised by the subject-sequence length L and a gap
+// requirement [N, M]. Exact values use math/big; float64 conveniences are
+// provided for threshold computation.
+package combinat
+
+import "fmt"
+
+// Gap is the user-supplied gap requirement [N, M]: every two successive
+// pattern characters must be separated by at least N and at most M
+// wild-cards in the subject sequence.
+type Gap struct {
+	N int // minimum gap size
+	M int // maximum gap size
+}
+
+// Validate checks 0 <= N <= M.
+func (g Gap) Validate() error {
+	if g.N < 0 {
+		return fmt.Errorf("combinat: minimum gap N=%d must be >= 0", g.N)
+	}
+	if g.M < g.N {
+		return fmt.Errorf("combinat: gap requirement [%d,%d] has M < N", g.N, g.M)
+	}
+	return nil
+}
+
+// W returns the gap flexibility W = M - N + 1.
+func (g Gap) W() int { return g.M - g.N + 1 }
+
+// String renders the gap requirement as "[N,M]".
+func (g Gap) String() string { return fmt.Sprintf("[%d,%d]", g.N, g.M) }
+
+// MinSpan returns the minimum number of sequence positions a length-l
+// pattern can span: (l-1)N + l.
+func MinSpan(l int, g Gap) int {
+	return (l-1)*g.N + l
+}
+
+// MaxSpan returns the maximum number of sequence positions a length-l
+// pattern can span: (l-1)M + l.
+func MaxSpan(l int, g Gap) int {
+	return (l-1)*g.M + l
+}
+
+// L1 returns the length of the longest pattern whose maximum span does not
+// exceed L: floor((L+M)/(M+1)).
+func L1(L int, g Gap) int {
+	if L <= 0 {
+		return 0
+	}
+	return (L + g.M) / (g.M + 1)
+}
+
+// L2 returns the length of the longest pattern whose minimum span does not
+// exceed L: floor((L+N)/(N+1)).
+func L2(L int, g Gap) int {
+	if L <= 0 {
+		return 0
+	}
+	return (L + g.N) / (g.N + 1)
+}

@@ -1,0 +1,95 @@
+package combinat_test
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+)
+
+func TestGapValidate(t *testing.T) {
+	cases := []struct {
+		g  combinat.Gap
+		ok bool
+	}{
+		{combinat.Gap{N: 0, M: 0}, true},
+		{combinat.Gap{N: 9, M: 12}, true},
+		{combinat.Gap{N: 3, M: 3}, true},
+		{combinat.Gap{N: -1, M: 5}, false},
+		{combinat.Gap{N: 5, M: 4}, false},
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.g, err, c.ok)
+		}
+	}
+}
+
+func TestGapW(t *testing.T) {
+	if w := (combinat.Gap{N: 4, M: 6}).W(); w != 3 {
+		t.Errorf("W([4,6]) = %d, want 3 (paper §4 example)", w)
+	}
+	if w := (combinat.Gap{N: 9, M: 12}).W(); w != 4 {
+		t.Errorf("W([9,12]) = %d, want 4", w)
+	}
+	if w := (combinat.Gap{N: 7, M: 7}).W(); w != 1 {
+		t.Errorf("W([7,7]) = %d, want 1", w)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	// Paper §4: with gap [3,4], a length-3 pattern spans at least 9
+	// positions.
+	g := combinat.Gap{N: 3, M: 4}
+	if got := combinat.MinSpan(3, g); got != 9 {
+		t.Errorf("MinSpan(3,[3,4]) = %d, want 9", got)
+	}
+	if got := combinat.MaxSpan(3, g); got != 11 {
+		t.Errorf("MaxSpan(3,[3,4]) = %d, want 11", got)
+	}
+	// Degenerate length 1: a single character spans one position.
+	if got := combinat.MinSpan(1, g); got != 1 {
+		t.Errorf("MinSpan(1) = %d, want 1", got)
+	}
+	if got := combinat.MaxSpan(1, g); got != 1 {
+		t.Errorf("MaxSpan(1) = %d, want 1", got)
+	}
+}
+
+func TestL1L2PaperValues(t *testing.T) {
+	// Paper §6: L=1000, [9,12] gives l1 = 77 (MPP worst case uses n=77).
+	g := combinat.Gap{N: 9, M: 12}
+	if got := combinat.L1(1000, g); got != 77 {
+		t.Errorf("L1(1000,[9,12]) = %d, want 77", got)
+	}
+	if got := combinat.L2(1000, g); got != 100 {
+		t.Errorf("L2(1000,[9,12]) = %d, want 100", got)
+	}
+}
+
+// TestL1L2Definitions checks l1/l2 against their defining properties:
+// l1 is the largest l with maxspan(l) <= L, l2 the largest with
+// minspan(l) <= L.
+func TestL1L2Definitions(t *testing.T) {
+	for _, g := range []combinat.Gap{{N: 0, M: 0}, {N: 1, M: 3}, {N: 9, M: 12}, {N: 2, M: 2}, {N: 0, M: 5}} {
+		for _, L := range []int{1, 2, 5, 17, 100, 1001} {
+			l1 := combinat.L1(L, g)
+			if combinat.MaxSpan(l1, g) > L {
+				t.Errorf("L=%d g=%v: maxspan(l1=%d)=%d > L", L, g, l1, combinat.MaxSpan(l1, g))
+			}
+			if combinat.MaxSpan(l1+1, g) <= L {
+				t.Errorf("L=%d g=%v: l1=%d not maximal", L, g, l1)
+			}
+			l2 := combinat.L2(L, g)
+			if combinat.MinSpan(l2, g) > L {
+				t.Errorf("L=%d g=%v: minspan(l2=%d)=%d > L", L, g, l2, combinat.MinSpan(l2, g))
+			}
+			if combinat.MinSpan(l2+1, g) <= L {
+				t.Errorf("L=%d g=%v: l2=%d not maximal", L, g, l2)
+			}
+			if l2 < l1 {
+				t.Errorf("L=%d g=%v: l2=%d < l1=%d", L, g, l2, l1)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package core defines the shared mining model: parameters, patterns,
+// results and per-level metrics. The algorithms themselves live in
+// internal/mine; this package keeps the vocabulary they exchange.
+package core
+
+import (
+	"fmt"
+
+	"permine/internal/combinat"
+)
+
+// Algorithm selects a mining strategy.
+type Algorithm int
+
+const (
+	// AlgoMPP is the paper's MPP: apriori-like level-wise mining with
+	// λ(n, n-i) pruning, guided by a user estimate n of the longest
+	// frequent pattern length.
+	AlgoMPP Algorithm = iota
+	// AlgoMPPm is the paper's MPPm: MPP with n estimated automatically
+	// from the e_m bound (Theorem 2).
+	AlgoMPPm
+	// AlgoAdaptive is the adaptive refinement sketched in the paper's
+	// Section 6: run MPP with a small n, grow n to the longest pattern
+	// found, repeat to fixpoint.
+	AlgoAdaptive
+	// AlgoEnumerate is the no-pruning baseline that counts every
+	// candidate (the paper's "enumeration algorithm", Table 3).
+	AlgoEnumerate
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoMPP:
+		return "MPP"
+	case AlgoMPPm:
+		return "MPPm"
+	case AlgoAdaptive:
+		return "MPP-adaptive"
+	case AlgoEnumerate:
+		return "enumerate"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Params carries every knob of a mining run. The zero value is not usable;
+// construct with the fields below and call Validate (the miners do).
+type Params struct {
+	// Gap is the gap requirement [N, M] between successive pattern
+	// characters.
+	Gap combinat.Gap
+
+	// MinSupport is the support-ratio threshold ρs in [0, 1]:
+	// P is frequent iff sup(P)/Nl >= MinSupport. Note the paper quotes
+	// percentages (0.003% == 0.00003 here).
+	MinSupport float64
+
+	// MaxLen is the user's estimate n of the longest frequent pattern
+	// length (MPP). Zero means "no idea": MPP uses l1, the worst case.
+	// Values above l1 are clamped to l1, as in the paper.
+	MaxLen int
+
+	// EmOrder is the paper's m for MPPm (the order of the e_m bound).
+	// Zero defaults to 8. Ignored by the other algorithms.
+	EmOrder int
+
+	// StartLen is the first mined pattern length. The paper starts at 3
+	// (shorter patterns are uninteresting on small alphabets); zero
+	// defaults to 3. Must be >= 1.
+	StartLen int
+
+	// Workers bounds the number of goroutines used for candidate
+	// counting. Zero or one means sequential. Results are deterministic
+	// for any value.
+	Workers int
+
+	// CandidateBudget caps the total number of candidates the
+	// AlgoEnumerate baseline may count before aborting with
+	// ErrBudgetExceeded. Zero defaults to 4 << 20. Ignored by MPP/MPPm,
+	// whose pruning keeps candidate sets small.
+	CandidateBudget int64
+}
+
+// ErrBudgetExceeded is returned (wrapped) by the enumeration baseline when
+// the candidate budget would be exceeded.
+var ErrBudgetExceeded = fmt.Errorf("core: candidate budget exceeded")
+
+// Defaults for Params fields.
+const (
+	DefaultStartLen        = 3
+	DefaultEmOrder         = 8
+	DefaultCandidateBudget = 4 << 20
+)
+
+// Normalize fills defaults and validates; it returns the effective Params.
+func (p Params) Normalize() (Params, error) {
+	if err := p.Gap.Validate(); err != nil {
+		return p, err
+	}
+	if p.MinSupport < 0 || p.MinSupport > 1 {
+		return p, fmt.Errorf("core: MinSupport %v out of range [0,1]", p.MinSupport)
+	}
+	if p.StartLen == 0 {
+		p.StartLen = DefaultStartLen
+	}
+	if p.StartLen < 1 {
+		return p, fmt.Errorf("core: StartLen %d must be >= 1", p.StartLen)
+	}
+	if p.MaxLen < 0 {
+		return p, fmt.Errorf("core: MaxLen %d must be >= 0", p.MaxLen)
+	}
+	if p.EmOrder == 0 {
+		p.EmOrder = DefaultEmOrder
+	}
+	if p.EmOrder < 1 {
+		return p, fmt.Errorf("core: EmOrder %d must be >= 1", p.EmOrder)
+	}
+	if p.Workers < 0 {
+		return p, fmt.Errorf("core: Workers %d must be >= 0", p.Workers)
+	}
+	if p.Workers == 0 {
+		p.Workers = 1
+	}
+	if p.CandidateBudget == 0 {
+		p.CandidateBudget = DefaultCandidateBudget
+	}
+	if p.CandidateBudget < 0 {
+		return p, fmt.Errorf("core: CandidateBudget %d must be >= 0", p.CandidateBudget)
+	}
+	return p, nil
+}

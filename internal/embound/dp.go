@@ -1,0 +1,224 @@
+package embound
+
+import (
+	"math"
+
+	"permine/internal/combinat"
+	"permine/internal/seq"
+)
+
+// The DP below computes every K_r in one right-to-left sweep by sharing
+// suffix path counts across start offsets, instead of re-walking the
+// W^m offset tree per start as the naive definition suggests.
+//
+// For position p and pattern length k define cnt_k(p): a code-sorted list
+// of (pattern, multiplicity) pairs over all length-k offset sequences
+// starting at p. Then
+//
+//	cnt_1(p)     = {S[p]: 1}
+//	cnt_(k+1)(p) = prepend(S[p], Σ_{q ∈ [p+N+1, p+M+1]} cnt_k(q))
+//
+// and K_r is the largest multiplicity in cnt_(m+1)(r). Because cnt_k(p)
+// merges paths that spell the same characters, its size is bounded by
+// min(|Σ|^k, W^(k-1)) and is far smaller on repetitive (genomic) data.
+// Only a sliding window of M+1 columns is retained, so memory stays
+// modest even for long sequences.
+
+// codeCount is one merged (pattern code, path multiplicity) pair.
+type codeCount struct {
+	code uint64
+	n    int64
+}
+
+// emSweep computes K_r for every r in one pass; returns max_r K_r.
+// Requires |Σ|^(m+1) to fit in uint64 (checked by the caller). It
+// dispatches to a dense-scratch variant when the code space and path
+// counts fit 32-bit cells, falling back to sorted-list merging otherwise.
+func emSweep(s *seq.Sequence, g combinat.Gap, m int) int64 {
+	size := float64(s.Alphabet().Size())
+	codeSpace := math.Pow(size, float64(m))
+	paths := math.Pow(float64(g.W()), float64(m))
+	if codeSpace <= 1<<24 && paths < float64(math.MaxInt32) {
+		return emSweepDense(s, g, m)
+	}
+	return emSweepMerge(s, g, m)
+}
+
+// emSweepMerge is the list-merging variant of the sweep, used when the
+// pattern code space is too large for dense scratch tables.
+func emSweepMerge(s *seq.Sequence, g combinat.Gap, m int) int64 {
+	L := s.Len()
+	size := uint64(s.Alphabet().Size())
+	window := g.M + 2 // columns p+1 .. p+M+1 plus the one being built
+
+	// cols[c][k] is cnt_(k+1) of the column currently mapped to slot c.
+	cols := make([][][]codeCount, window)
+	for c := range cols {
+		cols[c] = make([][]codeCount, m) // lengths 1..m stored; m+1 is folded into the max
+	}
+	slot := func(p int) int {
+		c := p % window
+		if c < 0 {
+			c += window
+		}
+		return c
+	}
+
+	// pow[k] = size^k for prefix prepending.
+	pow := make([]uint64, m+1)
+	pow[0] = 1
+	for k := 1; k <= m; k++ {
+		pow[k] = pow[k-1] * size
+	}
+
+	heads := make([]int, g.W())
+	lists := make([][]codeCount, g.W())
+	var best int64
+
+	// mergeInto merges cnt_k of the successor window of p, prepends
+	// S[p], and appends to dst. trackMax reports the largest
+	// multiplicity instead of requiring the caller to re-scan.
+	mergeInto := func(dst []codeCount, p, k int, trackMax *int64) []codeCount {
+		nlists := 0
+		for q := p + g.N + 1; q <= p+g.M+1 && q < L; q++ {
+			l := cols[slot(q)][k-1]
+			if len(l) > 0 {
+				lists[nlists] = l
+				heads[nlists] = 0
+				nlists++
+			}
+		}
+		if nlists == 0 {
+			return dst
+		}
+		prefix := uint64(s.Code(p)) * pow[k]
+		for {
+			// Find the smallest head code across the lists.
+			minCode := uint64(math.MaxUint64)
+			for i := 0; i < nlists; i++ {
+				if heads[i] < len(lists[i]) && lists[i][heads[i]].code < minCode {
+					minCode = lists[i][heads[i]].code
+				}
+			}
+			if minCode == math.MaxUint64 {
+				break
+			}
+			var total int64
+			for i := 0; i < nlists; i++ {
+				if heads[i] < len(lists[i]) && lists[i][heads[i]].code == minCode {
+					total += lists[i][heads[i]].n
+					heads[i]++
+				}
+			}
+			if trackMax != nil {
+				if total > *trackMax {
+					*trackMax = total
+				}
+			} else {
+				dst = append(dst, codeCount{code: prefix + minCode, n: total})
+			}
+		}
+		return dst
+	}
+
+	for p := L - 1; p >= 0; p-- {
+		col := cols[slot(p)]
+		// cnt_1(p)
+		col[0] = append(col[0][:0], codeCount{code: uint64(s.Code(p)), n: 1})
+		// cnt_2 .. cnt_m stored
+		for k := 2; k <= m; k++ {
+			col[k-1] = mergeInto(col[k-1][:0], p, k-1, nil)
+		}
+		// cnt_(m+1): only its maximum multiplicity matters (K_p).
+		mergeInto(nil, p, m, &best)
+	}
+	return best
+}
+
+// cc32 is a compact (code, multiplicity) pair for the dense sweep.
+type cc32 struct {
+	code uint32
+	n    int32
+}
+
+// emSweepDense is the hot variant of the sweep for small code spaces
+// (|Σ|^m <= 2^24 and W^m < 2^31, which covers DNA at the paper's m = 10):
+// window sums are accumulated in an epoch-stamped dense table instead of
+// sorted-list merges, and list cells are 8 bytes.
+func emSweepDense(s *seq.Sequence, g combinat.Gap, m int) int64 {
+	L := s.Len()
+	size := uint32(s.Alphabet().Size())
+	window := g.M + 2
+
+	codeSpace := 1
+	for k := 0; k < m; k++ {
+		codeSpace *= int(size)
+	}
+	acc := make([]int32, codeSpace)
+	epoch := make([]uint32, codeSpace)
+	var cur uint32
+	touched := make([]uint32, 0, 1024)
+
+	cols := make([][][]cc32, window)
+	for c := range cols {
+		cols[c] = make([][]cc32, m)
+	}
+	slot := func(p int) int { return p % window }
+
+	pow := make([]uint32, m+1)
+	pow[0] = 1
+	for k := 1; k <= m; k++ {
+		pow[k] = pow[k-1] * size
+	}
+
+	var best int64
+	for p := L - 1; p >= 0; p-- {
+		col := cols[slot(p)]
+		col[0] = append(col[0][:0], cc32{code: uint32(s.Code(p)), n: 1})
+		hi := p + g.M + 1
+		if hi >= L {
+			hi = L - 1
+		}
+		for k := 2; k <= m; k++ {
+			cur++
+			touched = touched[:0]
+			for q := p + g.N + 1; q <= hi; q++ {
+				for _, e := range cols[slot(q)][k-2] {
+					if epoch[e.code] != cur {
+						epoch[e.code] = cur
+						acc[e.code] = e.n
+						touched = append(touched, e.code)
+					} else {
+						acc[e.code] += e.n
+					}
+				}
+			}
+			dst := col[k-1][:0]
+			prefix := uint32(s.Code(p)) * pow[k-1]
+			for _, code := range touched {
+				dst = append(dst, cc32{code: prefix + code, n: acc[code]})
+			}
+			col[k-1] = dst
+		}
+		// Level m+1: only the maximum multiplicity matters. The first
+		// character is fixed (S[p]), so grouping by the m-length
+		// suffix code is enough.
+		cur++
+		touched = touched[:0]
+		for q := p + g.N + 1; q <= hi; q++ {
+			for _, e := range cols[slot(q)][m-1] {
+				if epoch[e.code] != cur {
+					epoch[e.code] = cur
+					acc[e.code] = e.n
+					touched = append(touched, e.code)
+				} else {
+					acc[e.code] += e.n
+				}
+				if int64(acc[e.code]) > best {
+					best = int64(acc[e.code])
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,276 @@
+package embound_test
+
+import (
+	"math"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/embound"
+	"permine/internal/gen"
+	"permine/internal/seq"
+)
+
+// TestTable2Paper reproduces the paper's Table 2: S = ACGTCCGT, gap [1,2],
+// m = 2 gives K_r = [2,1,2,1,0,0,0,0] (1-based r = 1..8) and e_m = 2.
+func TestTable2Paper(t *testing.T) {
+	s, err := seq.NewDNA("table2", "ACGTCCGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 1, M: 2}
+	want := []int64{2, 1, 2, 1, 0, 0, 0, 0}
+	for r0 := range want {
+		got, err := embound.Kr(s, g, 2, r0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[r0] {
+			t.Errorf("K_%d = %d, want %d", r0+1, got, want[r0])
+		}
+	}
+	em, err := embound.Em(s, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != 2 {
+		t.Errorf("e_2 = %d, want 2", em)
+	}
+}
+
+// TestEmBoundsW: 1 <= e_m <= W^m always (so W^m/e_m >= 1, the premise of
+// Theorem 2's improvement over Theorem 1).
+func TestEmBoundsW(t *testing.T) {
+	s, err := gen.GenomeLike(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []combinat.Gap{{N: 1, M: 2}, {N: 2, M: 4}, {N: 9, M: 12}} {
+		for m := 1; m <= 4; m++ {
+			em, err := embound.Em(s, g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wm := math.Pow(float64(g.W()), float64(m))
+			if em < 1 || float64(em) > wm {
+				t.Errorf("g=%v m=%d: e_m=%d out of [1, W^m=%v]", g, m, em, wm)
+			}
+		}
+	}
+}
+
+// TestEmRepetitiveSequence: on a perfectly periodic sequence every gap
+// choice spells the same pattern, so e_m reaches its maximum W^m.
+func TestEmRepetitiveSequence(t *testing.T) {
+	s, err := seq.NewDNA("polyA", gen.TandemRepeat("A", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 1, M: 3}
+	m := 3
+	em, err := embound.Em(s, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(math.Pow(float64(g.W()), float64(m)))
+	if em != want {
+		t.Errorf("e_%d on poly-A = %d, want W^m = %d", m, em, want)
+	}
+}
+
+// TestEmUniqueSequence: with W = 1 there is exactly one offset sequence
+// per start, so e_m = 1 wherever any fits.
+func TestEmW1(t *testing.T) {
+	s, err := gen.Uniform(seq.DNA, "u", 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := embound.Em(s, combinat.Gap{N: 2, M: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != 1 {
+		t.Errorf("e_m with W=1 = %d, want 1", em)
+	}
+}
+
+// TestEmTooShort: when no length-(m+1) offset sequence fits, Em degrades
+// to 1 (documented behaviour) rather than 0 or an error.
+func TestEmTooShort(t *testing.T) {
+	s, err := seq.NewDNA("short", "ACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := embound.Em(s, combinat.Gap{N: 9, M: 12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != 1 {
+		t.Errorf("degenerate e_m = %d, want 1", em)
+	}
+}
+
+func TestEmErrors(t *testing.T) {
+	s, err := seq.NewDNA("x", "ACGTACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := embound.Em(s, combinat.Gap{N: 1, M: 2}, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := embound.Em(s, combinat.Gap{N: 3, M: 1}, 2); err == nil {
+		t.Error("invalid gap accepted")
+	}
+	if _, err := embound.Kr(s, combinat.Gap{N: 1, M: 2}, 2, -1); err == nil {
+		t.Error("negative r accepted")
+	}
+	if _, err := embound.Kr(s, combinat.Gap{N: 1, M: 2}, 2, 99); err == nil {
+		t.Error("out-of-range r accepted")
+	}
+}
+
+// TestKrBruteForce cross-checks the packed-code walker against a naive
+// string-map implementation on a generated sequence.
+func TestKrBruteForce(t *testing.T) {
+	s, err := gen.Uniform(seq.DNA, "u", 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 1, M: 3}
+	m := 3
+	for r := 0; r < s.Len(); r += 7 {
+		counts := map[string]int64{}
+		var best int64
+		var walk func(pos, depth int, acc []byte)
+		walk = func(pos, depth int, acc []byte) {
+			acc = append(acc, s.At(pos))
+			if depth == m {
+				counts[string(acc)]++
+				if counts[string(acc)] > best {
+					best = counts[string(acc)]
+				}
+				return
+			}
+			for next := pos + g.N + 1; next <= pos+g.M+1 && next < s.Len(); next++ {
+				walk(next, depth+1, acc)
+			}
+		}
+		if r+combinat.MinSpan(m+1, g) <= s.Len() {
+			walk(r, 0, nil)
+		}
+		got, err := embound.Kr(s, g, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != best {
+			t.Errorf("K_r(r=%d) = %d, brute force %d", r, got, best)
+		}
+	}
+}
+
+// TestLambdaPrimeTightens: λ' >= λ with equality while d < m, and the
+// boost factor is (W^m/e_m)^floor(d/m).
+func TestLambdaPrime(t *testing.T) {
+	c := combinat.MustCounter(1000, combinat.Gap{N: 9, M: 12})
+	m := 4
+	em := int64(9) // pretend measurement; W^m = 256
+	for l := 5; l <= 30; l += 5 {
+		for d := 1; d < l-1; d++ {
+			lam := c.Lambda(l, d)
+			lp := embound.LambdaPrime(c, l, d, m, em)
+			s := d / m
+			boost := math.Pow(math.Pow(4, float64(m))/float64(em), float64(s))
+			if math.Abs(lp-boost*lam) > 1e-9*math.Max(lp, 1) {
+				t.Errorf("λ'(%d,%d) = %v, want %v·%v", l, d, lp, boost, lam)
+			}
+			if lp < lam-1e-15 {
+				t.Errorf("λ'(%d,%d)=%v < λ=%v (must tighten, never loosen)", l, d, lp, lam)
+			}
+			if d < m && math.Abs(lp-lam) > 1e-15 {
+				t.Errorf("λ'(%d,%d)=%v != λ=%v for d<m", l, d, lp, lam)
+			}
+		}
+	}
+	if got := embound.LambdaPrime(c, 10, 0, m, em); got != 1 {
+		t.Errorf("λ'(10,0) = %v, want 1", got)
+	}
+}
+
+// TestEmSweepMatchesDFS: the suffix-sharing sweep must equal the naive
+// per-start DFS maximum of K_r on assorted sequences and gaps.
+func TestEmSweepMatchesDFS(t *testing.T) {
+	seqs := []*seq.Sequence{}
+	for _, seed := range []uint64{1, 2, 3} {
+		s, err := gen.GenomeLike(120, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, s)
+	}
+	b, err := gen.BacterialLike(150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs = append(seqs, b)
+	for _, s := range seqs {
+		for _, g := range []combinat.Gap{{N: 0, M: 1}, {N: 1, M: 3}, {N: 2, M: 2}, {N: 9, M: 12}} {
+			for m := 1; m <= 4; m++ {
+				em, err := embound.Em(s, g, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want int64
+				for r := 0; r < s.Len(); r++ {
+					kr, err := embound.Kr(s, g, m, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if kr > want {
+						want = kr
+					}
+				}
+				if want == 0 {
+					want = 1 // Em degrades 0 to 1 by contract
+				}
+				if em != want {
+					t.Errorf("%s g=%v m=%d: sweep e_m=%d, DFS max K_r=%d", s.Name(), g, m, em, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEmProteinFallbackPaths exercises the large-code-space paths: the
+// merge-based sweep (|Σ|^m beyond the dense table) and, for Kr, the map
+// fallback — both against each other and the DFS.
+func TestEmProteinFallbackPaths(t *testing.T) {
+	s, err := gen.ProteinRepeat(250, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 1, M: 2}
+	// m = 6: 20^6 = 6.4e7 > 1<<24, so Em uses emSweepMerge and Kr's
+	// kounter uses the map table.
+	em, err := embound.Em(s, g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for r := 0; r < s.Len(); r++ {
+		kr, err := embound.Kr(s, g, 6, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kr > want {
+			want = kr
+		}
+	}
+	if want == 0 {
+		want = 1
+	}
+	if em != want {
+		t.Errorf("merge sweep e_m=%d, DFS max K_r=%d", em, want)
+	}
+	if em < 1 || em > int64(math.Pow(float64(g.W()), 6)) {
+		t.Errorf("e_m=%d out of range", em)
+	}
+}

@@ -1,0 +1,298 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run in Quick mode with shrunken workloads and
+// assert the paper's qualitative shapes, not wall-clock values (which the
+// full harness records in EXPERIMENTS.md).
+
+func TestTable2(t *testing.T) {
+	rows, em, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 1, 2, 1, 0, 0, 0, 0}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.R != i+1 || r.Kr != want[i] {
+			t.Errorf("row %d = %+v, want K%d=%d", i, r, i+1, want[i])
+		}
+	}
+	if em != 2 {
+		t.Errorf("e_m = %d, want 2", em)
+	}
+	var buf bytes.Buffer
+	if err := FprintTable2(&buf, rows, em); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "e_m = 2") {
+		t.Errorf("render missing e_m: %q", buf.String())
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	c := Config{Quick: true, L: 500}
+	rows, err := RunFig4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (quick sweep)", len(rows))
+	}
+	for i, r := range rows {
+		// The pruning hierarchy on candidates is the paper's Table 3
+		// claim and must hold at every threshold: worst >= MPPm >= best.
+		if r.WorstCand < r.MPPmCand {
+			t.Errorf("ρs=%v%%: worst candidates %d < MPPm %d", r.RhoPct, r.WorstCand, r.MPPmCand)
+		}
+		if r.MPPmCand < r.BestCand {
+			t.Errorf("ρs=%v%%: MPPm candidates %d < best %d", r.RhoPct, r.MPPmCand, r.BestCand)
+		}
+		// MPPm's auto n must cover the longest pattern but beat l1.
+		if r.AutoN < r.No {
+			t.Errorf("ρs=%v%%: auto n=%d < no=%d", r.RhoPct, r.AutoN, r.No)
+		}
+		// Frequent pattern count shrinks as the threshold grows.
+		if i > 0 && r.Patterns > rows[i-1].Patterns {
+			t.Errorf("pattern count grew with threshold: %d -> %d", rows[i-1].Patterns, r.Patterns)
+		}
+		if r.WorstSec <= 0 || r.BestSec <= 0 || r.MPPmSec <= 0 {
+			t.Errorf("ρs=%v%%: non-positive timings %+v", r.RhoPct, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FprintFig4(&buf, c, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	c := Config{L: 500}
+	rows, err := RunTable3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("only %d levels", len(rows))
+	}
+	if rows[0].Level != 3 || rows[0].Worst != 64 || rows[0].MPPm != 64 || rows[0].Best != 64 {
+		t.Errorf("C3 row = %+v, want 64 across the board", rows[0])
+	}
+	for _, r := range rows {
+		if r.Enum.Sign() <= 0 {
+			t.Errorf("level %d: non-positive enumeration count", r.Level)
+		}
+		// Levels reached by several algorithms: worst >= MPPm >= best
+		// (monotone pruning), allowing -1 for unreached.
+		if r.MPPm >= 0 && r.Worst >= 0 && r.Worst < r.MPPm {
+			t.Errorf("level %d: worst %d < MPPm %d", r.Level, r.Worst, r.MPPm)
+		}
+		if r.Best >= 0 && r.MPPm >= 0 && r.MPPm < r.Best {
+			t.Errorf("level %d: MPPm %d < best %d", r.Level, r.MPPm, r.Best)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FprintTable3(&buf, c, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	c := Config{Quick: true, L: 500}
+	rows, err := RunFig5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Candidate work must be non-decreasing in n (the paper's Figure 5
+	// trend: a worse estimate means weaker pruning).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Candidates < rows[i-1].Candidates {
+			t.Errorf("candidates decreased with n: n=%d %d -> n=%d %d",
+				rows[i-1].N, rows[i-1].Candidates, rows[i].N, rows[i].Candidates)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FprintFig5(&buf, c, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Fig7Quick(t *testing.T) {
+	c := Config{Quick: true, L: 400}
+	rows6, err := RunFig6(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows6) != 3 || rows6[0].X != 4 {
+		t.Fatalf("fig6 rows: %+v", rows6)
+	}
+	rows7, err := RunFig7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 3 || rows7[0].X != 8 {
+		t.Fatalf("fig7 rows: %+v", rows7)
+	}
+	var buf bytes.Buffer
+	if err := FprintSweep(&buf, "Figure 6", "W", rows6); err != nil {
+		t.Fatal(err)
+	}
+	if err := FprintSweep(&buf, "Figure 7", "N", rows7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 6") || !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("render missing titles")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	c := Config{Quick: true}
+	rows, err := RunFig8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].X != 1000 || rows[2].X != 5000 {
+		t.Fatalf("fig8 rows: %+v", rows)
+	}
+	// Scalability: runtime grows with L (the paper's Figure 8 is
+	// linear). Candidate counts stay roughly flat — per-candidate work
+	// is what scales — so the assertion is on time, with slack for
+	// timer noise.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Seconds < rows[i-1].Seconds*0.8 {
+			t.Errorf("runtime shrank with L: %+v", rows)
+		}
+	}
+}
+
+func TestCaseStudyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study mines 100 kb fragments; skipped with -short")
+	}
+	c := CaseConfig{Quick: true}
+	r, err := RunCaseStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bacterial) == 0 || len(r.Eukaryote) == 0 {
+		t.Fatal("missing fragments")
+	}
+	// §7 shape: AT-only length-8 patterns overwhelmingly frequent in
+	// bacteria-like fragments; multi-CG rare.
+	at, _, multi := Averages(r.Bacterial)
+	if at < 200 {
+		t.Errorf("bacterial AT-only average %.1f, want near 256 (paper ~250)", at)
+	}
+	if multi > 100 {
+		t.Errorf("bacterial multi-CG average %.1f, want near 0 (paper 3.9)", multi)
+	}
+	// Eukaryote-like: AT-only still frequent somewhere; G-only-8 and the
+	// long G pattern appear (the paper's H. sapiens 16–17 G finding).
+	atE, _, multiE := Averages(r.Eukaryote)
+	if atE < 100 {
+		t.Errorf("eukaryote AT-only average %.1f, want the AT signal to persist", atE)
+	}
+	if multiE <= multi {
+		t.Errorf("eukaryote multi-CG %.1f should exceed bacterial %.1f", multiE, multi)
+	}
+	anyG8, anyG16 := false, false
+	for _, fc := range r.Eukaryote {
+		anyG8 = anyG8 || fc.GOnly8
+		anyG16 = anyG16 || fc.G16
+	}
+	if !anyG8 || !anyG16 {
+		t.Errorf("eukaryote G patterns missing: G8=%v G16=%v", anyG8, anyG16)
+	}
+	var buf bytes.Buffer
+	if err := FprintCaseStudy(&buf, c, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Case study") {
+		t.Error("render missing title")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.L != 1000 || c.Gap.N != 9 || c.Gap.M != 12 || c.RhoPct != 0.003 || c.EmOrder != 8 {
+		t.Errorf("defaults = %+v", c)
+	}
+	cc := CaseConfig{}.withDefaults()
+	if cc.FragLen != 100_000 || cc.Gap.N != 10 || cc.Gap.M != 12 || cc.RhoPct != 0.006 {
+		t.Errorf("case defaults = %+v", cc)
+	}
+}
+
+func TestVerifyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification re-runs the exhibits; skipped with -short")
+	}
+	claims, err := Verify(Config{Quick: true, L: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 10 {
+		t.Fatalf("only %d claims", len(claims))
+	}
+	var buf bytes.Buffer
+	if err := FprintClaims(&buf, claims); err != nil {
+		t.Errorf("claims failed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "shape claims hold") {
+		t.Error("summary line missing")
+	}
+	// A failing claim must turn into an error.
+	bad := []Claim{{Exhibit: "X", Name: "always false", OK: false, Detail: "d"}}
+	buf.Reset()
+	if err := FprintClaims(&buf, bad); err == nil {
+		t.Error("failing claim did not error")
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Error("FAIL marker missing")
+	}
+}
+
+func TestOscillationPeakAtPlantedPeriod(t *testing.T) {
+	rows, err := RunOscillation(Config{L: 3000}, 'A', 'A', 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 || rows[0].P != 2 || rows[len(rows)-1].P != 20 {
+		t.Fatalf("rows = %v", rows)
+	}
+	peak := Peak(rows)
+	if peak.P < 10 || peak.P > 12 {
+		t.Errorf("peak at p=%d (corr %.4f), want the planted period ~11", peak.P, peak.Corr)
+	}
+	if peak.Corr <= 0 {
+		t.Errorf("peak correlation %.4f not positive", peak.Corr)
+	}
+	var buf bytes.Buffer
+	if err := FprintOscillation(&buf, 'A', 'A', rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peak at p=") {
+		t.Error("render missing peak line")
+	}
+	if _, err := RunOscillation(Config{L: 100}, 'A', 'A', 1); err == nil {
+		t.Error("maxP=1 accepted")
+	}
+	if _, err := RunOscillation(Config{L: 100}, 'X', 'A', 5); err == nil {
+		t.Error("bad symbol accepted")
+	}
+}

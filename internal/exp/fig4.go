@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig4Row is one support-threshold point of the paper's Figure 4: the
+// execution times of MPP in the worst case (n = l1), MPP in the best case
+// (n = no(ρs), the length of the longest frequent pattern), and MPPm.
+// Candidate totals are recorded alongside wall-clock because they are the
+// implementation-independent cost (see EXPERIMENTS.md).
+type Fig4Row struct {
+	RhoPct    float64 // support threshold in percent
+	No        int     // no(ρs): longest frequent pattern length
+	AutoN     int     // n chosen by MPPm
+	Em        int64   // measured e_m
+	WorstSec  float64
+	BestSec   float64
+	MPPmSec   float64
+	WorstCand int64
+	BestCand  int64
+	MPPmCand  int64
+	Patterns  int // number of frequent patterns
+}
+
+// Fig4Thresholds is the paper's x-axis: 0.0015% to 0.005% in 0.0005% steps.
+var Fig4Thresholds = []float64{0.0015, 0.002, 0.0025, 0.003, 0.0035, 0.004, 0.0045, 0.005}
+
+// RunFig4 sweeps the support threshold and measures the three miners of
+// Figures 4(a) and 4(b). Config.RhoPct is ignored (the sweep supplies it).
+func RunFig4(c Config) ([]Fig4Row, error) {
+	c = c.withDefaults()
+	s, err := c.subject()
+	if err != nil {
+		return nil, err
+	}
+	thresholds := Fig4Thresholds
+	if c.Quick {
+		thresholds = []float64{0.002, 0.003, 0.005}
+	}
+	rows := make([]Fig4Row, 0, len(thresholds))
+	for _, rhoPct := range thresholds {
+		cc := c
+		cc.RhoPct = rhoPct
+
+		worst, worstT, err := runWorst(s, cc)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 worst ρs=%v%%: %w", rhoPct, err)
+		}
+		no := worst.Longest()
+		best, bestT, err := runBest(s, cc, no)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 best ρs=%v%%: %w", rhoPct, err)
+		}
+		mppm, mppmT, err := runMPPm(s, cc)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 MPPm ρs=%v%%: %w", rhoPct, err)
+		}
+
+		rows = append(rows, Fig4Row{
+			RhoPct:    rhoPct,
+			No:        no,
+			AutoN:     mppm.N,
+			Em:        mppm.Em,
+			WorstSec:  worstT.Seconds(),
+			BestSec:   bestT.Seconds(),
+			MPPmSec:   mppmT.Seconds(),
+			WorstCand: totalCandidates(worst),
+			BestCand:  totalCandidates(best),
+			MPPmCand:  totalCandidates(mppm),
+			Patterns:  len(best.Patterns),
+		})
+	}
+	return rows, nil
+}
+
+// FprintFig4 renders both panels: (a) MPPm vs MPP worst case and
+// (b) MPPm vs MPP best case, as the paper's two sub-figures.
+func FprintFig4(w io.Writer, c Config, rows []Fig4Row) error {
+	c = c.withDefaults()
+	if err := fprintf(w, "Figure 4: MPPm vs MPP (L=%d, gap=%s, m=%d)\n", c.L, c.Gap, c.EmOrder); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-9s %-4s %-6s %-10s %-10s %-10s %-11s %-11s %-11s %-8s\n",
+		"rho(%)", "no", "autoN", "worst(s)", "MPPm(s)", "best(s)",
+		"worstCand", "MPPmCand", "bestCand", "#pat"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fprintf(w, "%-9.4f %-4d %-6d %-10.3f %-10.3f %-10.3f %-11d %-11d %-11d %-8d\n",
+			r.RhoPct, r.No, r.AutoN, r.WorstSec, r.MPPmSec, r.BestSec,
+			r.WorstCand, r.MPPmCand, r.BestCand, r.Patterns); err != nil {
+			return err
+		}
+	}
+	if len(rows) > 0 {
+		first, last := rows[0], rows[len(rows)-1]
+		if err := fprintf(w, "(a) MPPm vs worst: speedup %.1fx .. %.1fx   (b) MPPm vs best: overhead %.1fx .. %.1fx\n",
+			first.WorstSec/first.MPPmSec, last.WorstSec/last.MPPmSec,
+			first.MPPmSec/first.BestSec, last.MPPmSec/last.BestSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/embound"
+	"permine/internal/seq"
+)
+
+// Table2Row is one K_r value of the paper's Table 2 worked example.
+type Table2Row struct {
+	R  int // 1-based offset, as in the paper
+	Kr int64
+}
+
+// RunTable2 recomputes the paper's Table 2: K_r of the sequence ACGTCCGT
+// under gap [1,2] with m = 2, plus e_m.
+func RunTable2() ([]Table2Row, int64, error) {
+	s, err := seq.NewDNA("ACGTCCGT", "ACGTCCGT")
+	if err != nil {
+		return nil, 0, err
+	}
+	g := combinat.Gap{N: 1, M: 2}
+	rows := make([]Table2Row, 0, s.Len())
+	for r := 0; r < s.Len(); r++ {
+		kr, err := embound.Kr(s, g, 2, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, Table2Row{R: r + 1, Kr: kr})
+	}
+	em, err := embound.Em(s, g, 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, em, nil
+}
+
+// FprintTable2 renders Table 2 as in the paper.
+func FprintTable2(w io.Writer, rows []Table2Row, em int64) error {
+	if err := fprintf(w, "Table 2: K_r of sequence ACGTCCGT (gap [1,2], m=2)\n"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "Kr    "); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fprintf(w, "K%-3d", r.R); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\nValue "); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fprintf(w, "%-4d", r.Kr); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "\ne_m = %d\n", em)
+}
+
+// Table3Row is one level of the paper's Table 3: candidate counts per
+// level for the enumeration baseline (analytic |Σ|^i), MPP worst case,
+// MPPm and MPP best case. A count of -1 means the algorithm never reached
+// the level.
+type Table3Row struct {
+	Level int
+	Enum  *big.Int
+	Worst int64
+	MPPm  int64
+	Best  int64
+}
+
+// RunTable3 reproduces Table 3 at the configured threshold (paper:
+// L=1000, [9,12], ρs=0.003%).
+func RunTable3(c Config) ([]Table3Row, error) {
+	c = c.withDefaults()
+	s, err := c.subject()
+	if err != nil {
+		return nil, err
+	}
+	worst, _, err := runWorst(s, c)
+	if err != nil {
+		return nil, err
+	}
+	best, _, err := runBest(s, c, worst.Longest())
+	if err != nil {
+		return nil, err
+	}
+	mppm, _, err := runMPPm(s, c)
+	if err != nil {
+		return nil, err
+	}
+
+	maxLevel := 0
+	for _, r := range []*core.Result{worst, best, mppm} {
+		for _, lv := range r.Levels {
+			if lv.Level > maxLevel {
+				maxLevel = lv.Level
+			}
+		}
+	}
+	at := func(r *core.Result, l int) int64 {
+		if lv, ok := r.Level(l); ok {
+			return lv.Candidates
+		}
+		return -1
+	}
+	sigma := big.NewInt(int64(s.Alphabet().Size()))
+	rows := make([]Table3Row, 0, maxLevel-2)
+	for l := 3; l <= maxLevel; l++ {
+		rows = append(rows, Table3Row{
+			Level: l,
+			Enum:  new(big.Int).Exp(sigma, big.NewInt(int64(l)), nil),
+			Worst: at(worst, l),
+			MPPm:  at(mppm, l),
+			Best:  at(best, l),
+		})
+	}
+	return rows, nil
+}
+
+// FprintTable3 renders Table 3 as in the paper ("-" for unreached levels).
+func FprintTable3(w io.Writer, c Config, rows []Table3Row) error {
+	c = c.withDefaults()
+	if err := fprintf(w, "Table 3: candidates counted per level (L=%d, gap=%s, ρs=%.4g%%)\n",
+		c.L, c.Gap, c.RhoPct); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-5s %-14s %-12s %-10s %-10s\n",
+		"Ci", "Enumeration", "MPP(worst)", "MPPm", "MPP(best)"); err != nil {
+		return err
+	}
+	dash := func(v int64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	for _, r := range rows {
+		enum := r.Enum.String()
+		if len(enum) > 13 {
+			enum = fmt.Sprintf("4^%d", r.Level)
+		}
+		if err := fprintf(w, "C%-4d %-14s %-12s %-10s %-10s\n",
+			r.Level, enum, dash(r.Worst), dash(r.MPPm), dash(r.Best)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

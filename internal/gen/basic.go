@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+
+	"permine/internal/seq"
+)
+
+// Uniform generates an IID-uniform sequence of the given length over the
+// alphabet. Deterministic in seed.
+func Uniform(alpha *seq.Alphabet, name string, length int, seed uint64) (*seq.Sequence, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("gen: length %d must be positive", length)
+	}
+	r := newRNG(seed)
+	buf := make([]byte, length)
+	for i := range buf {
+		buf[i] = alpha.Symbol(r.intn(alpha.Size()))
+	}
+	return seq.New(alpha, name, string(buf))
+}
+
+// Weighted generates an IID sequence with the given per-symbol weights
+// (in alphabet code order; they are normalised). Useful for matching a
+// genome's base composition, e.g. AT-rich bacteria.
+func Weighted(alpha *seq.Alphabet, name string, length int, weights []float64, seed uint64) (*seq.Sequence, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("gen: length %d must be positive", length)
+	}
+	if len(weights) != alpha.Size() {
+		return nil, fmt.Errorf("gen: %d weights for alphabet of size %d", len(weights), alpha.Size())
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("gen: weight %d is negative (%v)", i, w)
+		}
+	}
+	cum := cumulative(weights)
+	r := newRNG(seed)
+	buf := make([]byte, length)
+	for i := range buf {
+		buf[i] = alpha.Symbol(r.pick(cum))
+	}
+	return seq.New(alpha, name, string(buf))
+}
+
+// Markov generates a sequence from a first-order Markov chain. trans is a
+// Size x Size row-stochastic matrix in code order (rows are normalised);
+// the initial symbol is drawn from the stationary-ish uniform distribution.
+// First-order structure is the simplest model that reproduces the
+// dinucleotide biases real genomes show.
+func Markov(alpha *seq.Alphabet, name string, length int, trans [][]float64, seed uint64) (*seq.Sequence, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("gen: length %d must be positive", length)
+	}
+	n := alpha.Size()
+	if len(trans) != n {
+		return nil, fmt.Errorf("gen: transition matrix has %d rows for alphabet of size %d", len(trans), n)
+	}
+	cums := make([][]float64, n)
+	for i, row := range trans {
+		if len(row) != n {
+			return nil, fmt.Errorf("gen: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, w := range row {
+			if w < 0 {
+				return nil, fmt.Errorf("gen: transition[%d][%d] is negative (%v)", i, j, w)
+			}
+		}
+		cums[i] = cumulative(row)
+	}
+	r := newRNG(seed)
+	buf := make([]byte, length)
+	state := r.intn(n)
+	buf[0] = alpha.Symbol(state)
+	for i := 1; i < length; i++ {
+		state = r.pick(cums[state])
+		buf[i] = alpha.Symbol(state)
+	}
+	return seq.New(alpha, name, string(buf))
+}

@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"fmt"
+
+	"permine/internal/seq"
+)
+
+// The high-level generators below are the concrete substitutes for the
+// paper's NCBI data (DESIGN.md §5). Each is deterministic in (length,
+// seed) and reproduces the statistical drivers the experiments depend on:
+// base composition, helical-turn (period ~11) phase structure, and — for
+// the eukaryote model — G-rich tracts.
+
+// GenomeLike models the paper's human DNA fragment AX829174: a first-order
+// background with human-like base composition and a phased helical-turn
+// region covering roughly 60% of the sequence with A and T boosts. At the
+// paper's operating point (gap [9,12], ρs ≈ 0.003%) the longest frequent
+// patterns come out in the low teens, matching the paper's no(ρs) = 13.
+func GenomeLike(length int, seed uint64) (*seq.Sequence, error) {
+	// A, C, G, T
+	bg := []float64{0.30, 0.20, 0.20, 0.30}
+	patchLen := length * 7 / 10
+	return Build(CompositeSpec{
+		Alphabet:   seq.DNA,
+		Name:       fmt.Sprintf("genome-like(L=%d,seed=%d)", length, seed),
+		Length:     length,
+		Background: bg,
+		Phased: []PhasedPatch{{
+			Start:  length / 8,
+			Len:    patchLen,
+			Period: 11,
+			Boosts: []Boost{
+				{Phase: 0, Symbol: 'A', Prob: 0.90},
+				{Phase: 1, Symbol: 'A', Prob: 0.60},
+				{Phase: 6, Symbol: 'T', Prob: 0.80},
+			},
+		}},
+		Seed: seed,
+	})
+}
+
+// BacterialLike models the paper's bacterial genomes (H. influenzae,
+// H. pylori, M. genitalium, M. pneumoniae): AT-rich composition plus
+// AT-phased helical periodicity. AT-only short patterns become frequent
+// both compositionally and through the periodic signal, while patterns
+// with more than one C or G stay rare — the paper's §7 census contrast.
+func BacterialLike(length int, seed uint64) (*seq.Sequence, error) {
+	bg := []float64{0.34, 0.16, 0.16, 0.34}
+	return Build(CompositeSpec{
+		Alphabet:   seq.DNA,
+		Name:       fmt.Sprintf("bacterial-like(L=%d,seed=%d)", length, seed),
+		Length:     length,
+		Background: bg,
+		Phased: []PhasedPatch{{
+			Start:  0,
+			Len:    length,
+			Period: 11,
+			Boosts: []Boost{
+				{Phase: 0, Symbol: 'A', Prob: 0.55},
+				{Phase: 6, Symbol: 'T', Prob: 0.50},
+			},
+		}},
+		Tracts: []Tract{
+			{Start: length / 3, Text: TandemRepeat("AT", minInt(40, length/20))},
+		},
+		Seed: seed,
+	})
+}
+
+// EukaryoteLike models the paper's higher-eukaryote sequences (H. sapiens,
+// C. elegans, D. melanogaster): more balanced composition, a weaker AT
+// phase signal, and — the §7 surprise — G-rich structure: a G-favouring
+// patch plus a literal poly-G tract long enough that even the pattern of
+// sixteen Gs is frequent in its fragment.
+func EukaryoteLike(length int, seed uint64) (*seq.Sequence, error) {
+	bg := []float64{0.27, 0.23, 0.23, 0.27}
+	gTract := minInt(185, length/10)
+	return Build(CompositeSpec{
+		Alphabet:   seq.DNA,
+		Name:       fmt.Sprintf("eukaryote-like(L=%d,seed=%d)", length, seed),
+		Length:     length,
+		Background: bg,
+		Phased: []PhasedPatch{{
+			Start:  0,
+			Len:    length / 2,
+			Period: 11,
+			// AT-rich base inside the periodic region: eukaryotes keep
+			// the AT helical signal (the paper's §7 surprise), just on
+			// a less AT-skewed genome overall.
+			BaseWeights: []float64{0.35, 0.15, 0.15, 0.35},
+			Boosts: []Boost{
+				{Phase: 0, Symbol: 'A', Prob: 0.55},
+				{Phase: 6, Symbol: 'T', Prob: 0.50},
+			},
+		}},
+		Patches: []Patch{{
+			Start:   length * 7 / 10,
+			Len:     minInt(1500, length/8),
+			Weights: []float64{0.10, 0.15, 0.65, 0.10},
+		}},
+		Tracts: []Tract{
+			{Start: length * 9 / 10, Text: TandemRepeat("G", gTract)},
+		},
+		Seed: seed,
+	})
+}
+
+// ProteinRepeat models the paper's porcine ribonuclease inhibitor example
+// (§1): a leucine-rich alternating repeat of 28- and 29-residue units on a
+// random protein background. The repeat region shows an L every ~14
+// residues, the kind of medium-length periodic motif the miner targets on
+// the 20-letter alphabet.
+func ProteinRepeat(length int, seed uint64) (*seq.Sequence, error) {
+	if length < 200 {
+		return nil, fmt.Errorf("gen: protein repeat needs length >= 200, got %d", length)
+	}
+	// Mildly realistic amino-acid weights (leucine-heavy, tryptophan-light),
+	// in Protein alphabet code order "ACDEFGHIKLMNPQRSTVWY".
+	bg := []float64{
+		0.08, 0.02, 0.05, 0.06, 0.04, 0.07, 0.02, 0.05, 0.06, 0.10,
+		0.02, 0.04, 0.05, 0.04, 0.05, 0.07, 0.06, 0.07, 0.01, 0.04,
+	}
+	repeatLen := length / 2
+	return Build(CompositeSpec{
+		Alphabet:   seq.Protein,
+		Name:       fmt.Sprintf("protein-repeat(L=%d,seed=%d)", length, seed),
+		Length:     length,
+		Background: bg,
+		Phased: []PhasedPatch{{
+			Start:  length / 4,
+			Len:    repeatLen,
+			Period: 14,
+			Boosts: []Boost{
+				{Phase: 0, Symbol: 'L', Prob: 0.85},
+				{Phase: 3, Symbol: 'N', Prob: 0.55},
+				{Phase: 7, Symbol: 'L', Prob: 0.60},
+			},
+		}},
+		Seed: seed,
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+// Package gen produces deterministic synthetic sequences that substitute
+// for the paper's NCBI genome data (see DESIGN.md §5). All generators are
+// driven by an explicit seed so every experiment is reproducible bit for
+// bit, and none depends on math/rand's global state.
+package gen
+
+// rng is a small, fast, deterministic PRNG (splitmix64) so that generated
+// sequences never change across Go releases (math/rand algorithm choices
+// have historically shifted between versions).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed}
+}
+
+// next64 returns the next 64 pseudo-random bits.
+func (r *rng) next64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next64() % uint64(n))
+}
+
+// float64v returns a uniform float64 in [0, 1).
+func (r *rng) float64v() float64 {
+	return float64(r.next64()>>11) / (1 << 53)
+}
+
+// pick draws an index according to the cumulative weights cum (cum's last
+// entry must be ~1.0).
+func (r *rng) pick(cum []float64) int {
+	u := r.float64v()
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+func cumulative(weights []float64) []float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	var run float64
+	for i, w := range weights {
+		run += w / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1
+	return cum
+}

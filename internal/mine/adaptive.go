@@ -1,0 +1,70 @@
+package mine
+
+import (
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/seq"
+)
+
+// DefaultAdaptiveStart is the initial n used by Adaptive when Params.MaxLen
+// is zero (the paper's Section 6 suggests a small value such as 10).
+const DefaultAdaptiveStart = 10
+
+// Adaptive implements the adaptive-n refinement the paper sketches in
+// Section 6: run MPP with a small n; since MPP is best-effort beyond n, it
+// may discover frequent patterns longer than n, in which case the longest
+// discovered length becomes the next round's n. Iterate until the longest
+// pattern found does not exceed the n used (then completeness up to that
+// length is guaranteed) or n reaches l1.
+//
+// The returned Result carries the final (complete) round's patterns and
+// levels, total elapsed time across rounds, and the sequence of n values
+// tried in Result.Rounds.
+func Adaptive(s *seq.Sequence, params core.Params) (*core.Result, error) {
+	p, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	counter, err := combinat.NewCounter(s.Len(), p.Gap)
+	if err != nil {
+		return nil, err
+	}
+	n := p.MaxLen
+	if n == 0 {
+		n = DefaultAdaptiveStart
+	}
+	if n > counter.L1() {
+		n = counter.L1()
+	}
+
+	var rounds []int
+	var last *core.Result
+	for {
+		rounds = append(rounds, n)
+		rp := p
+		rp.MaxLen = n
+		res, err := MPP(s, rp)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+		longest := res.Longest()
+		if longest <= n || n >= counter.L1() {
+			break
+		}
+		n = longest
+		if n > counter.L1() {
+			n = counter.L1()
+		}
+	}
+
+	last.Algorithm = core.AlgoAdaptive
+	last.AutoN = true
+	last.Rounds = rounds
+	last.Params = p
+	last.Elapsed = time.Since(start)
+	return last, nil
+}

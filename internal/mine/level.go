@@ -1,0 +1,209 @@
+// Package mine implements the paper's mining algorithms: the MPP
+// level-wise miner (Figure 3), MPPm with automatic estimation of the
+// longest-pattern length via the e_m bound, the adaptive refinement of
+// Section 6, and the no-pruning enumeration baseline of Table 3.
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/pil"
+	"permine/internal/seq"
+)
+
+// meets reports sup >= threshold with a tiny relative tolerance so that
+// float64 threshold computation does not drop exact-boundary supports.
+func meets(sup int64, threshold float64) bool {
+	return sup > 0 && float64(sup) >= threshold*(1-1e-12)
+}
+
+// runner drives one level-wise mining pass shared by MPP and MPPm.
+type runner struct {
+	s       *seq.Sequence
+	p       core.Params
+	counter *combinat.Counter
+	n       int // effective longest-pattern estimate (clamped to l1)
+	res     *core.Result
+	err     error // set when a level is aborted (e.g. overflow guard)
+}
+
+// supportCountLimit is the Nl ceiling beyond which int64 support counts
+// could overflow (supports are bounded by Nl; a wide safety margin below
+// 2^63 is kept). The paper's regimes sit far below it — hitting the
+// guard means W and l are pathological for exact counting.
+const supportCountLimit = 4e18
+
+// checkOverflow aborts a level whose supports could exceed int64.
+func (r *runner) checkOverflow(level int) error {
+	if r.counter.NlFloat(level) > supportCountLimit {
+		return fmt.Errorf("mine: N%d exceeds %g; int64 support counting would overflow (reduce the gap flexibility or sequence length)", level, float64(supportCountLimit))
+	}
+	return nil
+}
+
+// lambda returns the pruning factor applied at level i: λ(n, n−i) for
+// i <= n, and 1 beyond n (Figure 3 lines 6–7: best-effort region).
+func (r *runner) lambda(i int) float64 {
+	if i >= r.n {
+		return 1
+	}
+	return r.counter.Lambda(r.n, r.n-i)
+}
+
+// patternEntry pairs a candidate pattern with its PIL and support.
+type patternEntry struct {
+	chars string
+	list  pil.List
+	sup   int64
+}
+
+// run executes the level loop starting from the given start-level PILs
+// (pattern chars -> PIL, zero-support patterns absent). It fills
+// r.res.Patterns and r.res.Levels.
+func (r *runner) run(startPILs map[string]pil.List) {
+	i := r.p.StartLen
+	alphaN := int64(r.s.Alphabet().Size())
+
+	// Level StartLen: every |Σ|^StartLen combination is a candidate
+	// (built by direct scan, so the candidate count is analytic).
+	candCount := int64(1)
+	for k := 0; k < i; k++ {
+		candCount *= alphaN
+	}
+	entries := make([]patternEntry, 0, len(startPILs))
+	for chars, list := range startPILs {
+		entries = append(entries, patternEntry{chars: chars, list: list, sup: list.Support()})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].chars < entries[b].chars })
+
+	hat := r.collectLevel(i, candCount, entries)
+
+	for len(hat) > 0 {
+		next := i + 1
+		if r.counter.Nl(next).Sign() == 0 {
+			break // next > l2: no offset sequences exist
+		}
+		if err := r.checkOverflow(next); err != nil {
+			r.err = err
+			break
+		}
+		levelStart := time.Now()
+		cands := gen(hat)
+		counted := r.countCandidates(hat, cands)
+		kept := r.collectLevel(next, int64(len(cands)), counted)
+		r.res.Levels[len(r.res.Levels)-1].Elapsed += time.Since(levelStart)
+		hat = kept
+		i = next
+	}
+}
+
+// collectLevel applies the Li / L̂i thresholds to the counted entries of
+// level i, records metrics and frequent patterns, and returns L̂i as a map
+// for candidate generation.
+func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry) map[string]pil.List {
+	start := time.Now()
+	nl := r.counter.NlFloat(i)
+	lam := r.lambda(i)
+	thFreq := r.p.MinSupport * nl
+	thHat := lam * thFreq
+
+	hat := make(map[string]pil.List)
+	var frequent, kept int64
+	for _, e := range entries {
+		if meets(e.sup, thFreq) {
+			frequent++
+			r.res.Patterns = append(r.res.Patterns, core.Pattern{
+				Chars:   e.chars,
+				Support: e.sup,
+				Ratio:   float64(e.sup) / nl,
+			})
+		}
+		if meets(e.sup, thHat) {
+			kept++
+			hat[e.chars] = e.list
+		}
+	}
+	r.res.Levels = append(r.res.Levels, core.LevelMetrics{
+		Level:      i,
+		Candidates: candidates,
+		Frequent:   frequent,
+		Kept:       kept,
+		Lambda:     lam,
+		Elapsed:    time.Since(start),
+	})
+	return hat
+}
+
+// candidate is a level-(i+1) candidate pattern with its two parents in L̂i.
+type candidate struct {
+	chars  string
+	prefix string // parent P1 = prefix(cand)
+	suffix string // parent P2 = suffix(cand)
+}
+
+// gen implements Gen(L̂i): join every P1, P2 in L̂i with
+// suffix(P1) == prefix(P2) into the candidate P1[0] + P2. The result is
+// sorted for determinism.
+func gen(hat map[string]pil.List) []candidate {
+	byPrefix := make(map[string][]string, len(hat))
+	pats := make([]string, 0, len(hat))
+	for chars := range hat {
+		pats = append(pats, chars)
+		byPrefix[chars[:len(chars)-1]] = append(byPrefix[chars[:len(chars)-1]], chars)
+	}
+	sort.Strings(pats)
+	for _, v := range byPrefix {
+		sort.Strings(v)
+	}
+	var out []candidate
+	for _, p1 := range pats {
+		for _, p2 := range byPrefix[p1[1:]] {
+			out = append(out, candidate{chars: p1[:1] + p2, prefix: p1, suffix: p2})
+		}
+	}
+	return out
+}
+
+// countCandidates computes the PIL and support of every candidate by
+// joining the parents' PILs, optionally fanning out over Params.Workers
+// goroutines. Entries with zero support are dropped; order follows cands.
+func (r *runner) countCandidates(hat map[string]pil.List, cands []candidate) []patternEntry {
+	results := make([]patternEntry, len(cands))
+	work := func(from, to int) {
+		for idx := from; idx < to; idx++ {
+			c := cands[idx]
+			list := pil.Join(hat[c.prefix], hat[c.suffix], r.p.Gap)
+			results[idx] = patternEntry{chars: c.chars, list: list, sup: list.Support()}
+		}
+	}
+	if r.p.Workers <= 1 || len(cands) < 64 {
+		work(0, len(cands))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(cands) + r.p.Workers - 1) / r.p.Workers
+		for from := 0; from < len(cands); from += chunk {
+			to := from + chunk
+			if to > len(cands) {
+				to = len(cands)
+			}
+			wg.Add(1)
+			go func(from, to int) {
+				defer wg.Done()
+				work(from, to)
+			}(from, to)
+		}
+		wg.Wait()
+	}
+	out := results[:0]
+	for _, e := range results {
+		if e.sup > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}

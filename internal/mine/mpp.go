@@ -1,0 +1,57 @@
+package mine
+
+import (
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/pil"
+	"permine/internal/seq"
+)
+
+// MPP runs the paper's MPP algorithm (Figure 3) on subject sequence s.
+//
+// Params.MaxLen is the user's estimate n of the longest frequent pattern
+// length; MPP guarantees completeness for patterns of length <= n and is
+// best-effort beyond. MaxLen == 0 or MaxLen > l1 is clamped to l1 (the
+// paper's worst case).
+func MPP(s *seq.Sequence, params core.Params) (*core.Result, error) {
+	p, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	counter, err := combinat.NewCounter(s.Len(), p.Gap)
+	if err != nil {
+		return nil, err
+	}
+	n := p.MaxLen
+	if n == 0 || n > counter.L1() {
+		n = counter.L1()
+	}
+	if n < p.StartLen {
+		n = p.StartLen
+	}
+
+	res := &core.Result{
+		Algorithm: core.AlgoMPP,
+		Params:    p,
+		SeqName:   s.Name(),
+		SeqLen:    s.Len(),
+		N:         n,
+	}
+	r := &runner{s: s, p: p, counter: counter, n: n, res: res}
+
+	startPILs, err := pil.ScanK(s, p.Gap, p.StartLen)
+	if err != nil {
+		return nil, err
+	}
+	r.run(startPILs)
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	res.SortPatterns()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

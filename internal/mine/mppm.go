@@ -1,0 +1,82 @@
+package mine
+
+import (
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/embound"
+	"permine/internal/pil"
+	"permine/internal/seq"
+)
+
+// MPPm runs the paper's MPPm algorithm: MPP with the longest-pattern
+// estimate n derived automatically from the e_m bound (Theorem 2 /
+// Equation 5) instead of a user guess. Params.MaxLen is ignored;
+// Params.EmOrder is the paper's m.
+func MPPm(s *seq.Sequence, params core.Params) (*core.Result, error) {
+	p, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	counter, err := combinat.NewCounter(s.Len(), p.Gap)
+	if err != nil {
+		return nil, err
+	}
+
+	em, err := embound.Em(s, p.Gap, p.EmOrder)
+	if err != nil {
+		return nil, err
+	}
+
+	startPILs, err := pil.ScanK(s, p.Gap, p.StartLen)
+	if err != nil {
+		return nil, err
+	}
+	n := estimateN(counter, p, startPILs, em)
+
+	res := &core.Result{
+		Algorithm: core.AlgoMPPm,
+		Params:    p,
+		SeqName:   s.Name(),
+		SeqLen:    s.Len(),
+		N:         n,
+		AutoN:     true,
+		Em:        em,
+		EmOrder:   p.EmOrder,
+	}
+	r := &runner{s: s, p: p, counter: counter, n: n, res: res}
+	r.run(startPILs)
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	res.SortPatterns()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// estimateN implements MPPm's automatic choice of n: for every
+// StartLen < k <= l1, length-k frequent patterns can exist only if some
+// length-StartLen pattern has support at least
+// λ'(k, k−StartLen) · ρs · N_StartLen (Theorem 2 applied to the pattern's
+// StartLen-character prefix). n is the largest k passing the test.
+func estimateN(counter *combinat.Counter, p core.Params, startPILs map[string]pil.List, em int64) int {
+	var maxSup int64
+	for _, list := range startPILs {
+		if sup := list.Support(); sup > maxSup {
+			maxSup = sup
+		}
+	}
+	k0 := p.StartLen
+	n := k0
+	nk0 := counter.NlFloat(k0)
+	for k := k0 + 1; k <= counter.L1(); k++ {
+		th := embound.LambdaPrime(counter, k, k-k0, p.EmOrder, em) * p.MinSupport * nk0
+		if meets(maxSup, th) {
+			n = k
+		}
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+// Package oracle provides brute-force reference implementations used as
+// ground truth in tests: pattern support by exhaustive offset-sequence
+// enumeration, Nl by exhaustive counting, and full frequent-pattern mining
+// by enumeration. Everything here is exponential in pattern length — use
+// only on small inputs.
+package oracle
+
+import (
+	"fmt"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/seq"
+)
+
+// Support computes sup(P) for the shorthand pattern on the subject
+// sequence by enumerating every offset sequence that satisfies the gap
+// requirement. Cost O(L · W^(|P|−1)).
+func Support(s *seq.Sequence, pattern string, g combinat.Gap) (int64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if pattern == "" {
+		return 0, fmt.Errorf("oracle: empty pattern")
+	}
+	codes, err := s.Alphabet().Encode(pattern)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	var walk func(pos, depth int)
+	walk = func(pos, depth int) {
+		if s.Code(pos) != codes[depth] {
+			return
+		}
+		if depth == len(codes)-1 {
+			count++
+			return
+		}
+		lo := pos + g.N + 1
+		hi := pos + g.M + 1
+		if hi >= s.Len() {
+			hi = s.Len() - 1
+		}
+		for next := lo; next <= hi; next++ {
+			walk(next, depth+1)
+		}
+	}
+	for x := 0; x+combinat.MinSpan(len(codes), g) <= s.Len(); x++ {
+		walk(x, 0)
+	}
+	return count, nil
+}
+
+// PIL computes the partial index list of the pattern by brute force,
+// returned as a map from 0-based start position to count.
+func PIL(s *seq.Sequence, pattern string, g combinat.Gap) (map[int32]int64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	codes, err := s.Alphabet().Encode(pattern)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int32]int64)
+	var count int64
+	var walk func(pos, depth int)
+	walk = func(pos, depth int) {
+		if s.Code(pos) != codes[depth] {
+			return
+		}
+		if depth == len(codes)-1 {
+			count++
+			return
+		}
+		lo := pos + g.N + 1
+		hi := pos + g.M + 1
+		if hi >= s.Len() {
+			hi = s.Len() - 1
+		}
+		for next := lo; next <= hi; next++ {
+			walk(next, depth+1)
+		}
+	}
+	for x := 0; x+combinat.MinSpan(len(codes), g) <= s.Len(); x++ {
+		count = 0
+		walk(x, 0)
+		if count > 0 {
+			out[int32(x)] = count
+		}
+	}
+	return out, nil
+}
+
+// CountOffsets computes Nl — the number of length-l offset sequences in a
+// sequence of length L — by exhaustive enumeration. Cost O(L · W^(l−1)).
+func CountOffsets(L, l int, g combinat.Gap) (int64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if l < 1 {
+		return 0, fmt.Errorf("oracle: pattern length %d must be >= 1", l)
+	}
+	var count int64
+	var walk func(pos, depth int)
+	walk = func(pos, depth int) {
+		if depth == l-1 {
+			count++
+			return
+		}
+		lo := pos + g.N + 1
+		hi := pos + g.M + 1
+		if hi >= L {
+			hi = L - 1
+		}
+		for next := lo; next <= hi; next++ {
+			walk(next, depth+1)
+		}
+	}
+	for x := 0; x < L; x++ {
+		walk(x, 0)
+	}
+	return count, nil
+}
+
+// FrequentPatterns mines every frequent pattern of length in
+// [minLen, maxLen] by full enumeration over the alphabet. Ground truth for
+// the level-wise miners; exponential in maxLen.
+func FrequentPatterns(s *seq.Sequence, g combinat.Gap, rho float64, minLen, maxLen int) ([]core.Pattern, error) {
+	if minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("oracle: bad length range [%d,%d]", minLen, maxLen)
+	}
+	counter, err := combinat.NewCounter(s.Len(), g)
+	if err != nil {
+		return nil, err
+	}
+	alpha := s.Alphabet()
+	var out []core.Pattern
+	var build func(prefix []byte, l int) error
+	build = func(prefix []byte, l int) error {
+		if len(prefix) == l {
+			sup, err := Support(s, string(prefix), g)
+			if err != nil {
+				return err
+			}
+			nl := counter.NlFloat(l)
+			if nl > 0 && float64(sup) >= rho*nl*(1-1e-12) {
+				out = append(out, core.Pattern{
+					Chars:   string(prefix),
+					Support: sup,
+					Ratio:   float64(sup) / nl,
+				})
+			}
+			return nil
+		}
+		for c := 0; c < alpha.Size(); c++ {
+			if err := build(append(prefix, alpha.Symbol(c)), l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for l := minLen; l <= maxLen; l++ {
+		if counter.Nl(l).Sign() == 0 {
+			break
+		}
+		if err := build(make([]byte, 0, l), l); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

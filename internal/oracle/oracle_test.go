@@ -1,0 +1,104 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/oracle"
+	"permine/internal/seq"
+)
+
+// The oracle is exercised extensively as ground truth by the pil, mine
+// and combinat test suites; this file covers its own contract and error
+// paths directly.
+
+func TestSupportErrors(t *testing.T) {
+	s, err := seq.NewDNA("x", "ACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.Support(s, "AC", combinat.Gap{N: 2, M: 1}); err == nil {
+		t.Error("bad gap accepted")
+	}
+	if _, err := oracle.Support(s, "", combinat.Gap{N: 1, M: 2}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := oracle.Support(s, "AZ", combinat.Gap{N: 1, M: 2}); err == nil {
+		t.Error("bad symbol accepted")
+	}
+}
+
+func TestPILErrors(t *testing.T) {
+	s, err := seq.NewDNA("x", "ACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.PIL(s, "AC", combinat.Gap{N: 2, M: 1}); err == nil {
+		t.Error("bad gap accepted")
+	}
+	if _, err := oracle.PIL(s, "A?", combinat.Gap{N: 1, M: 2}); err == nil {
+		t.Error("bad symbol accepted")
+	}
+}
+
+func TestCountOffsetsErrors(t *testing.T) {
+	if _, err := oracle.CountOffsets(10, 0, combinat.Gap{N: 1, M: 2}); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := oracle.CountOffsets(10, 2, combinat.Gap{N: 3, M: 1}); err == nil {
+		t.Error("bad gap accepted")
+	}
+	// Worked example: L=5, gap [2,3], length-2 offset sequences are
+	// [1,4],[1,5],[2,5] (1-based): N2 = 3.
+	n2, err := oracle.CountOffsets(5, 2, combinat.Gap{N: 2, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 3 {
+		t.Errorf("N2 = %d, want 3", n2)
+	}
+}
+
+func TestFrequentPatternsBounds(t *testing.T) {
+	s, err := seq.NewDNA("x", "AAAAAAAA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 0, M: 1}
+	if _, err := oracle.FrequentPatterns(s, g, 0.1, 0, 2); err == nil {
+		t.Error("minLen 0 accepted")
+	}
+	if _, err := oracle.FrequentPatterns(s, g, 0.1, 3, 2); err == nil {
+		t.Error("maxLen < minLen accepted")
+	}
+	if _, err := oracle.FrequentPatterns(s, combinat.Gap{N: 2, M: 1}, 0.1, 1, 2); err == nil {
+		t.Error("bad gap accepted")
+	}
+	// On a homopolymer the all-A pattern is the only frequent one per
+	// length, with ratio 1.
+	pats, err := oracle.FrequentPatterns(s, g, 0.99, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 3 {
+		t.Fatalf("patterns = %v", pats)
+	}
+	for _, p := range pats {
+		for i := 0; i < len(p.Chars); i++ {
+			if p.Chars[i] != 'A' {
+				t.Errorf("unexpected pattern %q", p.Chars)
+			}
+		}
+		if p.Ratio < 0.999 {
+			t.Errorf("%q ratio %v, want 1", p.Chars, p.Ratio)
+		}
+	}
+	// Lengths beyond l2 terminate cleanly (empty, no error).
+	long, err := oracle.FrequentPatterns(s, g, 0.5, 9, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long) != 0 {
+		t.Errorf("beyond-l2 patterns: %v", long)
+	}
+}

@@ -1,0 +1,81 @@
+package pattern_test
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/pattern"
+	"permine/internal/seq"
+)
+
+// FuzzParse feeds arbitrary text to the pattern parser: it must never
+// panic, and any accepted pattern must render to a canonical form that
+// reparses to the same pattern and validates against some alphabet rules.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"ATC", "A..T.C", "Ag(8,10)Tg(9)C", "A", "g(1)A", ".A", "A.",
+		"Ag(,)T", "Ag(1,2", "A  T", "Ag(0)T", "Ag(2,1)T", "", "....",
+		"Ag(99999999999999999)T", "A\x00T", "Ag((1))T",
+	} {
+		f.Add(s)
+	}
+	dg := combinat.Gap{N: 1, M: 3}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := pattern.Parse(text, dg)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if p.Len() < 1 || len(p.Gaps) != p.Len()-1 {
+			t.Fatalf("accepted malformed pattern %+v from %q", p, text)
+		}
+		canon := p.String()
+		p2, err := pattern.Parse(canon, dg)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not reparse: %v", canon, text, err)
+		}
+		if p2.Chars != p.Chars {
+			t.Fatalf("round trip changed chars: %q -> %q", p.Chars, p2.Chars)
+		}
+		for i := range p.Gaps {
+			if p2.Gaps[i] != p.Gaps[i] {
+				t.Fatalf("round trip changed gap %d: %v -> %v", i, p.Gaps[i], p2.Gaps[i])
+			}
+		}
+		if p.MinSpan() > p.MaxSpan() {
+			t.Fatalf("spans inverted: %d > %d", p.MinSpan(), p.MaxSpan())
+		}
+	})
+}
+
+// FuzzSupportConsistency: for any accepted DNA pattern, Support equals
+// the length of the full occurrence enumeration on a fixed sequence.
+func FuzzSupportConsistency(f *testing.F) {
+	for _, s := range []string{"AT", "A.T", "Ag(0,2)C", "TTg(1)A"} {
+		f.Add(s)
+	}
+	subject := seq.MustNew(seq.DNA, "f", "ACGTTACGGATTACAGCTTAGGACGTACGTAACGT")
+	dg := combinat.Gap{N: 0, M: 2}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := pattern.Parse(text, dg)
+		if err != nil {
+			return
+		}
+		if p.Validate(seq.DNA) != nil {
+			return
+		}
+		if p.MaxSpan() > subject.Len() || p.Len() > 6 {
+			return // keep enumeration cheap
+		}
+		sup, err := pattern.Support(subject, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		occ, err := pattern.Occurrences(subject, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(occ)) != sup {
+			t.Fatalf("%q: support %d but %d occurrences", text, sup, len(occ))
+		}
+	})
+}

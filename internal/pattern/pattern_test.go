@@ -1,0 +1,280 @@
+package pattern_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"permine/internal/combinat"
+	"permine/internal/gen"
+	"permine/internal/oracle"
+	"permine/internal/pattern"
+	"permine/internal/seq"
+)
+
+var dg = combinat.Gap{N: 9, M: 12}
+
+func TestParseShorthand(t *testing.T) {
+	p, err := pattern.Parse("ATC", dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chars != "ATC" || len(p.Gaps) != 2 || p.Gaps[0] != dg || p.Gaps[1] != dg {
+		t.Errorf("parsed %+v", p)
+	}
+	if !p.Uniform(dg) {
+		t.Error("Uniform false for shorthand")
+	}
+}
+
+func TestParseDots(t *testing.T) {
+	// The paper's §3 example: P = A..T.C has |P| = 3 with exact gaps 2
+	// and 1.
+	p, err := pattern.Parse("A..T.C", dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("|P| = %d, want 3 (wild-cards don't count)", p.Len())
+	}
+	if p.Gaps[0] != (combinat.Gap{N: 2, M: 2}) || p.Gaps[1] != (combinat.Gap{N: 1, M: 1}) {
+		t.Errorf("gaps = %v", p.Gaps)
+	}
+	if p.Uniform(dg) {
+		t.Error("Uniform true for dotted pattern")
+	}
+}
+
+func TestParseExplicit(t *testing.T) {
+	p, err := pattern.Parse("Ag(8,10)Tg(9)C", dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gaps[0] != (combinat.Gap{N: 8, M: 10}) || p.Gaps[1] != (combinat.Gap{N: 9, M: 9}) {
+		t.Errorf("gaps = %v", p.Gaps)
+	}
+}
+
+func TestParseMixed(t *testing.T) {
+	p, err := pattern.Parse("A..Tg(0,3)C GT", dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chars != "ATCGT" {
+		t.Errorf("chars = %q", p.Chars)
+	}
+	want := []combinat.Gap{{N: 2, M: 2}, {N: 0, M: 3}, dg, dg}
+	for i, g := range want {
+		if p.Gaps[i] != g {
+			t.Errorf("gap %d = %v, want %v", i, p.Gaps[i], g)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                  // empty
+		"...",               // no characters
+		".AT",               // leading wild-card
+		"AT.",               // trailing gap
+		"ATg(1,2)",          // trailing gap group
+		"A..g(1)T",          // double separator
+		"Ag(2)..T",          // double separator
+		"Ag(2,1)T",          // M < N
+		"Ag(2,T",            // unterminated
+		"Ag()T",             // missing number
+		"g(1)AT",            // leading gap
+		"Ag(999999999999)T", // absurd size
+	}
+	for _, s := range bad {
+		if _, err := pattern.Parse(s, dg); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+	if _, err := pattern.Parse("AT", combinat.Gap{N: 2, M: 1}); err == nil {
+		t.Error("bad default gap accepted")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, text := range []string{"A..T.C", "Ag(8,10)Tg(9,12)C", "Ag(7)C", "AT"} {
+		p, err := pattern.Parse(text, dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := pattern.Parse(p.String(), dg)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", p.String(), text, err)
+		}
+		if p2.Chars != p.Chars {
+			t.Errorf("round trip chars %q != %q", p2.Chars, p.Chars)
+		}
+		for i := range p.Gaps {
+			if p2.Gaps[i] != p.Gaps[i] {
+				t.Errorf("%q round trip gap %d: %v != %v", text, i, p2.Gaps[i], p.Gaps[i])
+			}
+		}
+	}
+}
+
+func TestSpans(t *testing.T) {
+	p, err := pattern.Parse("Ag(1,3)Tg(2)C", dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinSpan() != 3+1+2 {
+		t.Errorf("MinSpan = %d", p.MinSpan())
+	}
+	if p.MaxSpan() != 3+3+2 {
+		t.Errorf("MaxSpan = %d", p.MaxSpan())
+	}
+}
+
+// TestSupportUniformMatchesOracle: with uniform gaps the generalised
+// support must equal the oracle's shorthand support.
+func TestSupportUniformMatchesOracle(t *testing.T) {
+	s, err := gen.GenomeLike(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 2, M: 4}
+	for _, chars := range []string{"A", "AT", "ATA", "TTTT", "GCG"} {
+		p, err := pattern.Parse(chars, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pattern.Support(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Support(s, chars, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: support %d, oracle %d", chars, got, want)
+		}
+	}
+}
+
+// TestSupportHeterogeneous: a worked example with mixed gaps, verified by
+// hand. S = ACTGA; pattern A.Tg(0,1)A matches via [0,2,4] only.
+func TestSupportHeterogeneous(t *testing.T) {
+	s, err := seq.NewDNA("h", "ACTGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pattern.Parse("A.Tg(0,1)A", combinat.Gap{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := pattern.Support(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup != 1 {
+		t.Errorf("support = %d, want 1", sup)
+	}
+	occ, err := pattern.Occurrences(s, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 1 || occ[0][0] != 0 || occ[0][1] != 2 || occ[0][2] != 4 {
+		t.Errorf("occurrences = %v, want [[0 2 4]]", occ)
+	}
+}
+
+// TestOccurrencesCountMatchesSupport: |Occurrences| == Support on random
+// inputs (property test).
+func TestOccurrencesCountMatchesSupport(t *testing.T) {
+	check := func(seed uint64, gapRaw uint8) bool {
+		s, err := gen.Uniform(seq.DNA, "q", 60, seed)
+		if err != nil {
+			return false
+		}
+		g := combinat.Gap{N: int(gapRaw % 3)}
+		g.M = g.N + int(gapRaw%3)
+		p, err := pattern.Parse("ATA", g)
+		if err != nil {
+			return false
+		}
+		sup, err := pattern.Support(s, p)
+		if err != nil {
+			return false
+		}
+		occ, err := pattern.Occurrences(s, p, 0)
+		if err != nil {
+			return false
+		}
+		if int64(len(occ)) != sup {
+			return false
+		}
+		// Every occurrence must actually satisfy the pattern.
+		for _, o := range occ {
+			for i, pos := range o {
+				if s.At(pos) != p.Chars[i] {
+					return false
+				}
+				if i > 0 {
+					gap := pos - o[i-1] - 1
+					if gap < p.Gaps[i-1].N || gap > p.Gaps[i-1].M {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccurrencesLimit(t *testing.T) {
+	s, err := gen.Uniform(seq.DNA, "u", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pattern.Parse("AA", combinat.Gap{N: 0, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := pattern.Occurrences(s, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Skip("too few occurrences to test the limit")
+	}
+	some, err := pattern.Occurrences(s, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 7 {
+		t.Errorf("limit 7 returned %d", len(some))
+	}
+	for i := range some {
+		if some[i][0] != all[i][0] || some[i][1] != all[i][1] {
+			t.Error("limited prefix differs from full enumeration")
+		}
+	}
+}
+
+func TestValidateAgainstAlphabet(t *testing.T) {
+	p, err := pattern.Parse("ALC", combinat.Gap{N: 1, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(seq.Protein); err != nil {
+		t.Errorf("protein pattern rejected: %v", err)
+	}
+	if err := p.Validate(seq.DNA); err == nil {
+		t.Error("L accepted as DNA")
+	}
+	s, _ := seq.NewDNA("x", "ACGT")
+	if _, err := pattern.Support(s, p); err == nil {
+		t.Error("Support accepted a non-DNA pattern on DNA")
+	}
+	if _, err := pattern.Occurrences(s, p, 0); err == nil {
+		t.Error("Occurrences accepted a non-DNA pattern on DNA")
+	}
+}

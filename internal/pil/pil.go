@@ -1,0 +1,227 @@
+// Package pil implements the Partial Index List structure of the paper's
+// Section 5.1.
+//
+// For a subject sequence S and a pattern P, PIL(P) is a list of (x, y)
+// pairs with distinct x: there are exactly y offset sequences of the form
+// [x, c2, ..., cl] with respect to which P matches S. Two properties make
+// PILs the workhorse of the miner:
+//
+//  1. sup(P) is simply the sum of all y values.
+//  2. PIL(P) is computable from PIL(prefix(P)) and PIL(suffix(P)) by a
+//     single merge pass, so supports of candidate patterns never require
+//     re-scanning the sequence.
+//
+// Positions x are 0-based (the paper is 1-based).
+package pil
+
+import (
+	"fmt"
+	"sort"
+
+	"permine/internal/combinat"
+	"permine/internal/seq"
+)
+
+// Entry is one (x, y) pair of a PIL: y offset sequences begin at position x.
+type Entry struct {
+	X int32
+	Y int64
+}
+
+// List is a PIL: entries sorted by strictly increasing X with Y > 0.
+type List []Entry
+
+// Support returns sup(P): the sum of all Y values.
+func (p List) Support() int64 {
+	var s int64
+	for _, e := range p {
+		s += e.Y
+	}
+	return s
+}
+
+// Validate checks the List invariants (sorted unique X, positive Y).
+// It is used by tests and the fuzzing harness.
+func (p List) Validate() error {
+	for i, e := range p {
+		if e.Y <= 0 {
+			return fmt.Errorf("pil: entry %d has non-positive count %d", i, e.Y)
+		}
+		if i > 0 && p[i-1].X >= e.X {
+			return fmt.Errorf("pil: entries %d,%d out of order (%d >= %d)", i-1, i, p[i-1].X, e.X)
+		}
+	}
+	return nil
+}
+
+// Join computes PIL(P) for P = prefix-head + suffix, given
+// prefix = PIL(prefix(P)) and suffix = PIL(suffix(P)), following the
+// paper's procedure: for every (x, y) in the prefix list, sum the suffix
+// counts y' over x' with x' - x - 1 in [N, M], and emit (x, t) when t > 0.
+//
+// The pass is O(|prefix| + |suffix|) using a sliding window over the
+// sorted suffix list.
+func Join(prefix, suffix List, g combinat.Gap) List {
+	if len(prefix) == 0 || len(suffix) == 0 {
+		return nil
+	}
+	out := make(List, 0, len(prefix))
+	lo, hi := 0, 0 // suffix window [lo, hi): entries with X in [x+N+1, x+M+1]
+	var window int64
+	for _, e := range prefix {
+		minX := e.X + int32(g.N) + 1
+		maxX := e.X + int32(g.M) + 1
+		for hi < len(suffix) && suffix[hi].X <= maxX {
+			window += suffix[hi].Y
+			hi++
+		}
+		for lo < hi && suffix[lo].X < minX {
+			window -= suffix[lo].Y
+			lo++
+		}
+		if lo > hi { // never happens: kept for clarity of the invariant
+			lo = hi
+		}
+		if window > 0 {
+			out = append(out, Entry{X: e.X, Y: window})
+		}
+	}
+	return out
+}
+
+// Singles builds the length-1 PILs of every alphabet symbol occurring in s:
+// result[code] lists each position of the symbol with count 1.
+func Singles(s *seq.Sequence) []List {
+	out := make([]List, s.Alphabet().Size())
+	for i, code := range s.Codes() {
+		out[code] = append(out[code], Entry{X: int32(i), Y: 1})
+	}
+	return out
+}
+
+// ScanK builds the PILs of every length-k pattern with non-zero support by
+// direct scanning, for small k (the miner uses k = 3 to seed level 3, per
+// the paper's observation that length-1/2 patterns are uninteresting).
+// Keys of the returned map are pattern character strings.
+//
+// Cost is O(L · W^(k-1)).
+func ScanK(s *seq.Sequence, g combinat.Gap, k int) (map[string]List, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("pil: scan length %d must be >= 1", k)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := s.Alphabet()
+	if k > 8 && pow(alpha.Size(), k) > 1<<26 {
+		return nil, fmt.Errorf("pil: direct scan of length-%d patterns over %d symbols is too large; use the miner's level-wise joins", k, alpha.Size())
+	}
+	codes := s.Codes()
+	size := alpha.Size()
+
+	// For each start x we count, per packed pattern code, the number of
+	// offset sequences starting at x; counts are collected in a small
+	// scratch slice (at most W^(k-1) distinct patterns per start).
+	type acc struct {
+		key uint64
+		n   int64
+	}
+	scratch := make([]acc, 0, 64)
+	lists := make(map[uint64]*List)
+
+	var walk func(pos int, depth int, key uint64)
+	walk = func(pos int, depth int, key uint64) {
+		key = key*uint64(size) + uint64(codes[pos])
+		if depth == k {
+			for i := range scratch {
+				if scratch[i].key == key {
+					scratch[i].n++
+					return
+				}
+			}
+			scratch = append(scratch, acc{key: key, n: 1})
+			return
+		}
+		lo := pos + g.N + 1
+		hi := pos + g.M + 1
+		if hi >= len(codes) {
+			hi = len(codes) - 1
+		}
+		for next := lo; next <= hi; next++ {
+			walk(next, depth+1, key)
+		}
+	}
+
+	for x := 0; x+combinat.MinSpan(k, g) <= len(codes); x++ {
+		scratch = scratch[:0]
+		walk(x, 1, 0)
+		for _, a := range scratch {
+			lp := lists[a.key]
+			if lp == nil {
+				lp = new(List)
+				lists[a.key] = lp
+			}
+			*lp = append(*lp, Entry{X: int32(x), Y: a.n})
+		}
+	}
+
+	out := make(map[string]List, len(lists))
+	buf := make([]uint8, k)
+	for key, lp := range lists {
+		rem := key
+		for i := k - 1; i >= 0; i-- {
+			buf[i] = uint8(rem % uint64(size))
+			rem /= uint64(size)
+		}
+		out[alpha.Decode(buf)] = *lp
+	}
+	return out, nil
+}
+
+// Merge sums two PILs of the same pattern computed over disjoint inputs
+// (used by the sharded scanners). Entries with equal X are combined.
+func Merge(a, b List) List {
+	out := make(List, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].X < b[j].X:
+			out = append(out, a[i])
+			i++
+		case a[i].X > b[j].X:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, Entry{X: a[i].X, Y: a[i].Y + b[j].Y})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// FromPairs builds a List from unordered (x, y) pairs, combining duplicate
+// positions; a convenience for tests.
+func FromPairs(pairs map[int32]int64) List {
+	out := make(List, 0, len(pairs))
+	for x, y := range pairs {
+		if y > 0 {
+			out = append(out, Entry{X: x, Y: y})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+func pow(base, exp int) int {
+	v := 1
+	for i := 0; i < exp; i++ {
+		if v > (1<<31)/base {
+			return 1 << 31
+		}
+		v *= base
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+// Package report renders small ASCII tables and charts for the
+// experiment harness: horizontal bar charts for single-series sweeps and
+// multi-series column plots for the figure comparisons. Pure text, no
+// dependencies — the "figures" of cmd/experiments -plot.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+//
+//	n=10   |█████▍              | 0.147
+//	n=60   |████████████████████| 0.407
+func BarChart(w io.Writer, title, unit string, bars []Bar, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	for _, b := range bars {
+		frac := 0.0
+		if maxVal > 0 {
+			frac = b.Value / maxVal
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %.4g%s\n",
+			labelW, b.Label, fill(frac, width), b.Value, unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill renders a bar of fractional length frac over width cells using
+// eighth-block characters for the final partial cell.
+func fill(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	eighths := int(math.Round(frac * float64(width) * 8))
+	full := eighths / 8
+	rem := eighths % 8
+	blocks := []rune(" ▏▎▍▌▋▊▉")
+	var b strings.Builder
+	b.WriteString(strings.Repeat("█", full))
+	used := full
+	if rem > 0 && full < width {
+		b.WriteRune(blocks[rem])
+		used++
+	}
+	b.WriteString(strings.Repeat(" ", width-used))
+	return b.String()
+}
+
+// Series is one named line of a multi-series plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LinePlot renders series against shared x labels as a scaled dot matrix
+// (rows = value buckets, log scale when the spread warrants it).
+func LinePlot(w io.Writer, title string, xLabels []string, series []Series, height int) error {
+	if height <= 0 {
+		height = 12
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) != len(xLabels) {
+			return fmt.Errorf("report: series %q has %d values for %d x labels", s.Name, len(s.Values), len(xLabels))
+		}
+		for _, v := range s.Values {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if len(series) == 0 || math.IsInf(minV, 1) {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	logScale := minV > 0 && maxV/minV > 50
+	scale := func(v float64) float64 {
+		if logScale {
+			return math.Log(v)
+		}
+		return v
+	}
+	lo, hi := scale(minV), scale(maxV)
+	if hi == lo {
+		hi = lo + 1
+	}
+	row := func(v float64) int {
+		r := int(math.Round((scale(v) - lo) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return r
+	}
+
+	marks := []byte("*o+x#@")
+	colW := 0
+	for _, l := range xLabels {
+		if len(l) > colW {
+			colW = len(l)
+		}
+	}
+	colW += 2
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colW*len(xLabels)))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for xi, v := range s.Values {
+			r := height - 1 - row(v)
+			c := xi*colW + colW/2
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '&' // overlapping series
+			}
+		}
+	}
+	axisNote := ""
+	if logScale {
+		axisNote = " (log scale)"
+	}
+	if _, err := fmt.Fprintf(w, "y: %.4g .. %.4g%s\n", minV, maxV, axisNote); err != nil {
+		return err
+	}
+	for _, line := range grid {
+		if _, err := fmt.Fprintf(w, "|%s\n", string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n ", strings.Repeat("-", colW*len(xLabels))); err != nil {
+		return err
+	}
+	for _, l := range xLabels {
+		if _, err := fmt.Fprintf(w, "%-*s", colW, l); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "legend: %s ('&' = overlap)\n", strings.Join(legend, "   "))
+	return err
+}

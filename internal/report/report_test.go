@@ -1,0 +1,118 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"permine/internal/report"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []report.Bar{
+		{Label: "n=10", Value: 0.147},
+		{Label: "n=60", Value: 0.407},
+	}
+	if err := report.BarChart(&buf, "Figure 5", "s", bars, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", lines)
+	}
+	// The max bar must be full; the smaller one shorter.
+	fullBlocks := strings.Count(lines[2], "█")
+	smallBlocks := strings.Count(lines[1], "█")
+	if fullBlocks != 20 {
+		t.Errorf("max bar has %d blocks, want 20", fullBlocks)
+	}
+	if smallBlocks >= fullBlocks {
+		t.Errorf("smaller value rendered longer (%d >= %d)", smallBlocks, fullBlocks)
+	}
+	if !strings.Contains(lines[1], "0.147s") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.BarChart(&buf, "zeros", "", []report.Bar{{Label: "a", Value: 0}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "█") != 0 {
+		t.Error("zero value rendered blocks")
+	}
+	buf.Reset()
+	if err := report.BarChart(&buf, "empty", "", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.LinePlot(&buf, "Figure 4", []string{"0.0015", "0.003", "0.005"},
+		[]report.Series{
+			{Name: "MPP(worst)", Values: []float64{2.2, 1.0, 0.57}},
+			{Name: "MPPm", Values: []float64{0.38, 0.21, 0.15}},
+		}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "legend", "MPP(worst)", "MPPm", "0.003"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both series marks must appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+}
+
+func TestLinePlotLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.LinePlot(&buf, "wide", []string{"a", "b"},
+		[]report.Series{{Name: "s", Values: []float64{1, 10000}}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log scale") {
+		t.Errorf("log scale not engaged:\n%s", buf.String())
+	}
+}
+
+func TestLinePlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.LinePlot(&buf, "bad", []string{"a", "b"},
+		[]report.Series{{Name: "s", Values: []float64{1}}}, 6)
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := report.LinePlot(&buf, "none", []string{"a"}, nil, 6); err != nil {
+		t.Errorf("empty series: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot missing placeholder")
+	}
+}
+
+func TestLinePlotOverlap(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.LinePlot(&buf, "overlap", []string{"x"},
+		[]report.Series{
+			{Name: "a", Values: []float64{5}},
+			{Name: "b", Values: []float64{5}},
+		}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "&") {
+		t.Errorf("overlap marker missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses all records of a FASTA stream into Sequences over the
+// given alphabet. Lower-case residues are accepted and upper-cased before
+// validation; blank lines are skipped. A record with an empty body is an
+// error, as is body text before the first header.
+func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+
+	var (
+		out  []*Sequence
+		name string
+		body strings.Builder
+		open bool
+	)
+	flush := func() error {
+		if !open {
+			return nil
+		}
+		if body.Len() == 0 {
+			return fmt.Errorf("seq: fasta record %q has no sequence data", name)
+		}
+		s, err := New(alpha, name, strings.ToUpper(body.String()))
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		body.Reset()
+		open = false
+		return nil
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name = strings.TrimSpace(line[1:])
+			if name == "" {
+				name = fmt.Sprintf("record-%d", len(out)+1)
+			}
+			open = true
+			continue
+		}
+		if line[0] == ';' { // legacy FASTA comment line
+			continue
+		}
+		if !open {
+			return nil, fmt.Errorf("seq: fasta line %d: sequence data before first header", lineNo)
+		}
+		body.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seq: fasta stream contains no records")
+	}
+	return out, nil
+}
+
+// WriteFASTA writes sequences as FASTA records with lines wrapped at the
+// given width (<= 0 means 70).
+func WriteFASTA(w io.Writer, width int, seqs ...*Sequence) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name()); err != nil {
+			return err
+		}
+		data := s.Data()
+		for start := 0; start < len(data); start += width {
+			end := start + width
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := fmt.Fprintln(bw, data[start:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,83 @@
+package seq_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"permine/internal/seq"
+)
+
+func TestReadFASTAMultiRecord(t *testing.T) {
+	in := `>first record
+ACGT
+acgt
+
+>second
+; legacy comment
+TTTT
+`
+	got, err := seq.ReadFASTA(strings.NewReader(in), seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[0].Name() != "first record" || got[0].Data() != "ACGTACGT" {
+		t.Errorf("record 0 = %v", got[0])
+	}
+	if got[1].Name() != "second" || got[1].Data() != "TTTT" {
+		t.Errorf("record 1 = %v", got[1])
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before header": "ACGT\n>x\nACGT\n",
+		"empty record":       ">x\n>y\nACGT\n",
+		"empty trailing":     ">x\nACGT\n>y\n",
+		"bad symbol":         ">x\nACGU\n",
+		"no records":         "\n\n",
+	}
+	for name, in := range cases {
+		if _, err := seq.ReadFASTA(strings.NewReader(in), seq.DNA); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadFASTAAnonymousHeader(t *testing.T) {
+	got, err := seq.ReadFASTA(strings.NewReader(">\nACGT\n"), seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name() != "record-1" {
+		t.Errorf("name = %q", got[0].Name())
+	}
+}
+
+func TestWriteFASTAWrapping(t *testing.T) {
+	s := seq.MustNew(seq.DNA, "wrap", strings.Repeat("A", 25))
+	var buf bytes.Buffer
+	if err := seq.WriteFASTA(&buf, 10, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 10 + 10 + 5
+		t.Fatalf("lines: %q", lines)
+	}
+	if lines[0] != ">wrap" || len(lines[1]) != 10 || len(lines[3]) != 5 {
+		t.Errorf("wrapping wrong: %q", lines)
+	}
+	// Default width.
+	buf.Reset()
+	long := seq.MustNew(seq.DNA, "long", strings.Repeat("C", 100))
+	if err := seq.WriteFASTA(&buf, 0, long); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines[1]) != 70 {
+		t.Errorf("default width line length %d", len(lines[1]))
+	}
+}

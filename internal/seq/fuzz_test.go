@@ -1,0 +1,67 @@
+package seq_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"permine/internal/seq"
+)
+
+// FuzzReadFASTA feeds arbitrary bytes to the FASTA reader: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadFASTA(f *testing.F) {
+	for _, s := range []string{
+		">x\nACGT\n", ">a\nAC\n>b\nGT\n", "", "junk\n", ">only header\n",
+		">x\nacgt\nACGT\n", ">\nA\n", "; comment\n>x\nAA\n", ">x\r\nACGT\r\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, err := seq.ReadFASTA(bytes.NewReader(data), seq.DNA)
+		if err != nil {
+			return
+		}
+		if len(seqs) == 0 {
+			t.Fatal("accepted input with zero records")
+		}
+		var buf bytes.Buffer
+		if err := seq.WriteFASTA(&buf, 60, seqs...); err != nil {
+			t.Fatal(err)
+		}
+		back, err := seq.ReadFASTA(&buf, seq.DNA)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(seqs), len(back))
+		}
+		for i := range back {
+			if back[i].Data() != seqs[i].Data() {
+				t.Fatalf("record %d data changed", i)
+			}
+		}
+	})
+}
+
+// FuzzEncode: Encode must accept exactly the strings Validate accepts,
+// and decoding must invert encoding.
+func FuzzEncode(f *testing.F) {
+	f.Add("ACGT")
+	f.Add("acgt")
+	f.Add("AXGT")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		codes, err := seq.DNA.Encode(data)
+		vErr := seq.DNA.Validate(data)
+		if (err == nil) != (vErr == nil) {
+			t.Fatalf("Encode err=%v but Validate err=%v for %q", err, vErr, data)
+		}
+		if err != nil {
+			return
+		}
+		if got := seq.DNA.Decode(codes); got != strings.ToUpper(strings.ToUpper(data)) && got != data {
+			t.Fatalf("decode mismatch: %q -> %q", data, got)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Composition holds per-symbol occurrence counts for a sequence.
+type Composition struct {
+	alpha  *Alphabet
+	counts []int64
+	total  int64
+}
+
+// Compose counts the symbols of s.
+func Compose(s *Sequence) *Composition {
+	c := &Composition{alpha: s.Alphabet(), counts: make([]int64, s.Alphabet().Size())}
+	for _, code := range s.Codes() {
+		c.counts[code]++
+	}
+	c.total = int64(s.Len())
+	return c
+}
+
+// Count returns the number of occurrences of symbol b (0 if b is not in the
+// alphabet).
+func (c *Composition) Count(b byte) int64 {
+	code, ok := c.alpha.Code(b)
+	if !ok {
+		return 0
+	}
+	return c.counts[code]
+}
+
+// Freq returns the relative frequency of symbol b in [0,1].
+func (c *Composition) Freq(b byte) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.Count(b)) / float64(c.total)
+}
+
+// Total returns the sequence length the composition was computed over.
+func (c *Composition) Total() int64 { return c.total }
+
+// GC returns the G+C fraction for DNA compositions (0 for other alphabets
+// unless they contain G/C symbols).
+func (c *Composition) GC() float64 {
+	return c.Freq('G') + c.Freq('C')
+}
+
+// String renders the composition as "A:0.30 C:0.20 ..." in code order.
+func (c *Composition) String() string {
+	var b strings.Builder
+	for code := 0; code < c.alpha.Size(); code++ {
+		if code > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%c:%.3f", c.alpha.Symbol(code), float64(c.counts[code])/float64(max64(c.total, 1)))
+	}
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DinucleotideCorrelation computes the paper's base-pair oscillation
+// statistic for an ordered symbol pair (x, y) at distance p:
+//
+//	n_xy(p)/(L-p) − pr(x)·pr(y)
+//
+// where n_xy(p) counts positions i with S[i]=x and S[i+p]=y. A positive
+// value means the pair co-occurs at distance p more often than independence
+// predicts (paper §1, base pair oscillations).
+func DinucleotideCorrelation(s *Sequence, x, y byte, p int) (float64, error) {
+	if p <= 0 || p >= s.Len() {
+		return 0, fmt.Errorf("seq: distance %d out of range for length %d", p, s.Len())
+	}
+	if !s.Alphabet().Contains(x) || !s.Alphabet().Contains(y) {
+		return 0, fmt.Errorf("seq: pair %q%q not in alphabet %s", x, y, s.Alphabet().Name())
+	}
+	var n int64
+	for i := 0; i+p < s.Len(); i++ {
+		if s.At(i) == x && s.At(i+p) == y {
+			n++
+		}
+	}
+	comp := Compose(s)
+	return float64(n)/float64(s.Len()-p) - comp.Freq(x)*comp.Freq(y), nil
+}
+
+// TopKmers returns the k-mer contiguous substrings of s ranked by count
+// (descending, ties broken lexicographically), truncated to at most limit
+// entries. It is a convenience for exploring sequences before mining.
+func TopKmers(s *Sequence, k, limit int) []KmerCount {
+	if k <= 0 || k > s.Len() {
+		return nil
+	}
+	counts := make(map[string]int64)
+	data := s.Data()
+	for i := 0; i+k <= len(data); i++ {
+		counts[data[i:i+k]]++
+	}
+	out := make([]KmerCount, 0, len(counts))
+	for kmer, n := range counts {
+		out = append(out, KmerCount{Kmer: kmer, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Kmer < out[j].Kmer
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// KmerCount pairs a contiguous substring with its occurrence count.
+type KmerCount struct {
+	Kmer  string
+	Count int64
+}

@@ -1,0 +1,143 @@
+// Package tandem finds tandem repeats — the first class of periodic
+// pattern the paper's introduction surveys (§1): a subsequence
+// s_i s_(i+1) ... s_(i+2p-1) with s_(i+j) = s_(i+p+j) for 0 <= j < p,
+// i.e. two or more adjacent copies of a length-p unit.
+//
+// The finder reports maximal runs (extended to as many copies and as much
+// trailing partial copy as the sequence supports) for every period up to
+// a caller-chosen maximum, with nested reports of the same run under a
+// multiple of its fundamental period suppressed. Exact matching only —
+// the paper's VNTR examples are exact; approximate tandem repeats are a
+// literature of their own (Kurtz et al., cited in §2).
+package tandem
+
+import (
+	"fmt"
+	"sort"
+
+	"permine/internal/seq"
+)
+
+// Repeat is one maximal tandem run.
+type Repeat struct {
+	// Start is the 0-based position of the first unit.
+	Start int
+	// Unit is the repeating word (length = the period p).
+	Unit string
+	// Copies is the number of complete units (>= 2).
+	Copies int
+	// Extra is the length of the trailing partial unit (0 <= Extra < p).
+	Extra int
+}
+
+// Period returns the repeat's period p = len(Unit).
+func (r Repeat) Period() int { return len(r.Unit) }
+
+// Len returns the total run length in characters.
+func (r Repeat) Len() int { return r.Copies*len(r.Unit) + r.Extra }
+
+// End returns the position one past the run.
+func (r Repeat) End() int { return r.Start + r.Len() }
+
+// String renders e.g. "AT x5+1 @ 12".
+func (r Repeat) String() string {
+	return fmt.Sprintf("%s x%d+%d @ %d", r.Unit, r.Copies, r.Extra, r.Start)
+}
+
+// Find reports every maximal tandem run with period in [1, maxPeriod] and
+// at least minCopies complete copies (minCopies < 2 is raised to 2).
+// Runs are primitive: a run whose unit is itself a repetition of a
+// shorter unit is reported once, under the fundamental period. Results
+// are ordered by start position, then period.
+//
+// Cost is O(L · maxPeriod) using the classic longest-common-extension
+// scan per period.
+func Find(s *seq.Sequence, maxPeriod, minCopies int) ([]Repeat, error) {
+	if maxPeriod < 1 {
+		return nil, fmt.Errorf("tandem: max period %d must be >= 1", maxPeriod)
+	}
+	if maxPeriod > s.Len()/2 {
+		maxPeriod = s.Len() / 2
+	}
+	if minCopies < 2 {
+		minCopies = 2
+	}
+	data := s.Data()
+	var out []Repeat
+	for p := 1; p <= maxPeriod; p++ {
+		// match[i] — computed implicitly right-to-left: the length of
+		// the run of positions j >= i with data[j] == data[j+p].
+		run := 0
+		// ends[i] records runs; we scan right to left accumulating the
+		// equal-with-shift run length, emitting when a run ends.
+		starts := make([]int, 0, 8)
+		_ = starts
+		for i := len(data) - p - 1; i >= 0; i-- {
+			if data[i] == data[i+p] {
+				run++
+			} else {
+				run = 0
+			}
+			// A maximal run starts at i when position i-1 breaks (or
+			// i == 0) and the run is long enough: total repeat length
+			// is run + p characters.
+			if run > 0 && (i == 0 || data[i-1] != data[i-1+p]) {
+				total := run + p
+				copies := total / p
+				if copies >= minCopies {
+					rep := Repeat{
+						Start:  i,
+						Unit:   data[i : i+p],
+						Copies: copies,
+						Extra:  total % p,
+					}
+					if primitive(rep.Unit) {
+						out = append(out, rep)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Period() < out[j].Period()
+	})
+	return out, nil
+}
+
+// primitive reports whether the unit is not itself a repetition of a
+// shorter word (classic doubling trick: u is primitive iff u does not
+// occur inside (u+u) other than at the ends).
+func primitive(unit string) bool {
+	if len(unit) <= 1 {
+		return true
+	}
+	doubled := unit + unit
+	for shift := 1; shift < len(unit); shift++ {
+		if len(unit)%shift != 0 {
+			continue
+		}
+		if doubled[shift:shift+len(unit)] == unit {
+			return false
+		}
+	}
+	return true
+}
+
+// Longest returns the repeats with the greatest total length, ties broken
+// by earlier start, truncated to at most limit entries.
+func Longest(reps []Repeat, limit int) []Repeat {
+	out := append([]Repeat(nil), reps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() > out[j].Len()
+		}
+		return out[i].Start < out[j].Start
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

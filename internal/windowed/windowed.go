@@ -1,0 +1,293 @@
+// Package windowed implements the window-based frequent-pattern model the
+// paper contrasts itself against in Section 2 (Mannila et al.'s sliding
+// windows [10] and Han et al.'s non-overlapping windows [6]): the
+// sequence is cut into windows of width w, and a pattern is frequent if
+// it occurs in at least minWindows windows.
+//
+// Under this definition the plain Apriori property holds (a window
+// containing P contains every sub-pattern of P), so the miner is a
+// classic level-wise Apriori. The package exists to make the paper's
+// §2 critique reproducible: window mining misses patterns that span
+// window boundaries and needs a width chosen in advance — both
+// demonstrated in the tests — while the gap-requirement model does not.
+//
+// Patterns use the same gap requirement [N, M] between successive
+// characters as the main miner, so results are directly comparable.
+package windowed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/seq"
+)
+
+// Mode selects the windowing scheme.
+type Mode int
+
+const (
+	// Sliding uses all L-w+1 overlapping windows (every two neighbours
+	// share w-1 positions), as in Mannila et al.
+	Sliding Mode = iota
+	// Fixed uses consecutive non-overlapping windows, as in Han et al.
+	Fixed
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Sliding:
+		return "sliding"
+	case Fixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Params configures a window-mining run.
+type Params struct {
+	// Gap is the gap requirement between successive pattern characters.
+	Gap combinat.Gap
+	// Width is the window width w.
+	Width int
+	// MinWindows is the window-count support threshold.
+	MinWindows int64
+	// Mode selects sliding or fixed windows.
+	Mode Mode
+	// MaxLen caps the mined pattern length (0 = until no candidates).
+	MaxLen int
+	// StartLen is the first mined length (default 1 — unlike the gap
+	// miner, short patterns are meaningful window predictors here).
+	StartLen int
+}
+
+func (p Params) normalize(L int) (Params, error) {
+	if err := p.Gap.Validate(); err != nil {
+		return p, err
+	}
+	if p.Width < 1 || p.Width > L {
+		return p, fmt.Errorf("windowed: width %d out of range [1,%d]", p.Width, L)
+	}
+	if p.MinWindows < 1 {
+		return p, fmt.Errorf("windowed: MinWindows %d must be >= 1", p.MinWindows)
+	}
+	if p.Mode != Sliding && p.Mode != Fixed {
+		return p, fmt.Errorf("windowed: unknown mode %d", int(p.Mode))
+	}
+	if p.StartLen == 0 {
+		p.StartLen = 1
+	}
+	if p.StartLen < 1 {
+		return p, fmt.Errorf("windowed: StartLen %d must be >= 1", p.StartLen)
+	}
+	if p.MaxLen < 0 {
+		return p, fmt.Errorf("windowed: MaxLen %d must be >= 0", p.MaxLen)
+	}
+	return p, nil
+}
+
+// Pattern is one frequent pattern with its window support.
+type Pattern struct {
+	Chars string
+	// Windows is the number of windows containing at least one match.
+	Windows int64
+}
+
+// Result is the outcome of a window-mining run.
+type Result struct {
+	Params   Params
+	SeqName  string
+	SeqLen   int
+	NWindows int64 // total number of windows
+	Patterns []Pattern
+	Levels   []core.LevelMetrics
+	Elapsed  time.Duration
+}
+
+// starts is the min-end match list of a pattern: for each start position
+// x (ascending), the minimal end position of a match beginning at x. The
+// minimal end decides window membership — any window long enough for the
+// tightest match contains the pattern.
+type starts []startEnd
+
+type startEnd struct {
+	x, minEnd int32
+}
+
+// Mine runs the level-wise Apriori miner under the window model.
+func Mine(s *seq.Sequence, params Params) (*Result, error) {
+	p, err := params.normalize(s.Len())
+	if err != nil {
+		return nil, err
+	}
+	begin := time.Now()
+	res := &Result{
+		Params:   p,
+		SeqName:  s.Name(),
+		SeqLen:   s.Len(),
+		NWindows: totalWindows(s.Len(), p),
+	}
+
+	// Level 1: every symbol's positions (minEnd = x).
+	alpha := s.Alphabet()
+	level := make(map[string]starts, alpha.Size())
+	for i, code := range s.Codes() {
+		chars := string(alpha.Symbol(int(code)))
+		level[chars] = append(level[chars], startEnd{x: int32(i), minEnd: int32(i)})
+	}
+	// Levels below StartLen participate in joins but are not reported.
+	l := 1
+	for len(level) > 0 {
+		levelStart := time.Now()
+		frequent := make(map[string]starts, len(level))
+		var freq int64
+		names := make([]string, 0, len(level))
+		for chars := range level {
+			names = append(names, chars)
+		}
+		sort.Strings(names)
+		for _, chars := range names {
+			w := windowSupport(level[chars], s.Len(), p)
+			if w >= p.MinWindows {
+				frequent[chars] = level[chars]
+				freq++
+				if l >= p.StartLen {
+					res.Patterns = append(res.Patterns, Pattern{Chars: chars, Windows: w})
+				}
+			}
+		}
+		res.Levels = append(res.Levels, core.LevelMetrics{
+			Level:      l,
+			Candidates: int64(len(level)),
+			Frequent:   freq,
+			Kept:       freq,
+			Lambda:     1, // plain Apriori: no λ discount
+			Elapsed:    time.Since(levelStart),
+		})
+		if p.MaxLen > 0 && l >= p.MaxLen {
+			break
+		}
+		level = extend(s, frequent, p)
+		l++
+	}
+
+	sort.Slice(res.Patterns, func(i, j int) bool {
+		if len(res.Patterns[i].Chars) != len(res.Patterns[j].Chars) {
+			return len(res.Patterns[i].Chars) < len(res.Patterns[j].Chars)
+		}
+		return res.Patterns[i].Chars < res.Patterns[j].Chars
+	})
+	res.Elapsed = time.Since(begin)
+	return res, nil
+}
+
+func totalWindows(L int, p Params) int64 {
+	if p.Mode == Sliding {
+		return int64(L - p.Width + 1)
+	}
+	return int64((L + p.Width - 1) / p.Width)
+}
+
+// windowSupport counts the windows that contain at least one match. A
+// match [x, end] with span end-x+1 <= w lies inside: sliding windows
+// starting in [end-w+1, x]; the fixed window x/w when end is in the same
+// block.
+func windowSupport(list starts, L int, p Params) int64 {
+	w := p.Width
+	if p.Mode == Fixed {
+		var count int64
+		last := int32(-1)
+		for _, se := range list {
+			if int(se.minEnd-se.x)+1 > w {
+				continue
+			}
+			blockX := se.x / int32(w)
+			if blockX == se.minEnd/int32(w) && blockX != last {
+				count++
+				last = blockX
+			}
+		}
+		return count
+	}
+	// Sliding: union of start intervals [max(0, end-w+1), min(x, L-w)].
+	var count int64
+	covered := int32(-1) // highest window start already counted
+	for _, se := range list {
+		if int(se.minEnd-se.x)+1 > w {
+			continue
+		}
+		lo := se.minEnd - int32(w) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := se.x
+		if maxStart := int32(L - w); hi > maxStart {
+			hi = maxStart
+		}
+		if hi < lo {
+			continue
+		}
+		if lo <= covered {
+			lo = covered + 1
+		}
+		if hi >= lo {
+			count += int64(hi - lo + 1)
+			covered = hi
+		}
+	}
+	return count
+}
+
+// extend builds the next level's candidates by the prefix/suffix join and
+// computes their min-end lists with a sliding-window minimum pass.
+func extend(s *seq.Sequence, frequent map[string]starts, p Params) map[string]starts {
+	byPrefix := make(map[string][]string, len(frequent))
+	for chars := range frequent {
+		byPrefix[chars[:len(chars)-1]] = append(byPrefix[chars[:len(chars)-1]], chars)
+	}
+	next := make(map[string]starts)
+	for p1, list1 := range frequent {
+		for _, p2 := range byPrefix[p1[1:]] {
+			cand := p1[:1] + p2
+			joined := minJoin(list1, frequent[p2], p.Gap)
+			if len(joined) > 0 {
+				next[cand] = joined
+			}
+		}
+	}
+	return next
+}
+
+// minJoin computes the min-end list of prefix-head + suffix: for each
+// prefix start x, the minimal suffix minEnd over suffix starts in
+// [x+N+1, x+M+1]. Both lists are sorted by x; a monotonic deque yields
+// O(|prefix| + |suffix|).
+func minJoin(prefix, suffix starts, g combinat.Gap) starts {
+	out := make(starts, 0, len(prefix))
+	var deque []startEnd // increasing x, increasing minEnd
+	hi := 0
+	lo := 0
+	for _, e := range prefix {
+		minX := e.x + int32(g.N) + 1
+		maxX := e.x + int32(g.M) + 1
+		for hi < len(suffix) && suffix[hi].x <= maxX {
+			se := suffix[hi]
+			for len(deque) > lo && deque[len(deque)-1].minEnd >= se.minEnd {
+				deque = deque[:len(deque)-1]
+			}
+			deque = append(deque, se)
+			hi++
+		}
+		for lo < len(deque) && deque[lo].x < minX {
+			lo++
+		}
+		if lo < len(deque) {
+			out = append(out, startEnd{x: e.x, minEnd: deque[lo].minEnd})
+		}
+	}
+	return out
+}

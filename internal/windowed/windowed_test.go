@@ -1,0 +1,366 @@
+package windowed_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/gen"
+	"permine/internal/mine"
+	"permine/internal/seq"
+	"permine/internal/windowed"
+)
+
+func mustSeq(t *testing.T, data string) *seq.Sequence {
+	t.Helper()
+	s, err := seq.NewDNA("w", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestModeString(t *testing.T) {
+	if windowed.Sliding.String() != "sliding" || windowed.Fixed.String() != "fixed" {
+		t.Error("mode strings")
+	}
+	if windowed.Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	s := mustSeq(t, "ACGTACGT")
+	bad := []windowed.Params{
+		{Gap: combinat.Gap{N: 2, M: 1}, Width: 4, MinWindows: 1},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 0, MinWindows: 1},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 99, MinWindows: 1},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 0},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 1, Mode: windowed.Mode(7)},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 1, StartLen: -1},
+		{Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 1, MaxLen: -1},
+	}
+	for i, p := range bad {
+		if _, err := windowed.Mine(s, p); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// TestWindowCountsByHand verifies window supports on a worked example.
+// S = ATATCGCG, w = 4, gap [0,1].
+func TestWindowCountsByHand(t *testing.T) {
+	s := mustSeq(t, "ATATCGCG")
+	res, err := windowed.Mine(s, windowed.Params{
+		Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 1, Mode: windowed.Sliding, MaxLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NWindows != 5 {
+		t.Fatalf("NWindows = %d, want 5", res.NWindows)
+	}
+	get := func(chars string) int64 {
+		for _, p := range res.Patterns {
+			if p.Chars == chars {
+				return p.Windows
+			}
+		}
+		return 0
+	}
+	// 'A' occurs at 0 and 2: windows 0..2 contain one -> starts {0,1,2}
+	// plus... start interval for x=0 is [0,0] capped; x=2 covers [0,2];
+	// total windows containing A = {0,1,2} = 3.
+	if got := get("A"); got != 3 {
+		t.Errorf("windows(A) = %d, want 3", got)
+	}
+	// "AT" matches at [0,1] and [2,3]: window starts {0} ∪ {0,1,2} = 3.
+	if got := get("AT"); got != 3 {
+		t.Errorf("windows(AT) = %d, want 3", got)
+	}
+	// "CG" matches at [4,5] and [6,7]: starts {2,3,4} ∪ {4} = 3.
+	if got := get("CG"); got != 3 {
+		t.Errorf("windows(CG) = %d, want 3", got)
+	}
+}
+
+func TestFixedWindows(t *testing.T) {
+	// Two fixed windows of 4: ATAT | CGCG.
+	s := mustSeq(t, "ATATCGCG")
+	res, err := windowed.Mine(s, windowed.Params{
+		Gap: combinat.Gap{N: 0, M: 1}, Width: 4, MinWindows: 1, Mode: windowed.Fixed, MaxLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NWindows != 2 {
+		t.Fatalf("NWindows = %d, want 2", res.NWindows)
+	}
+	for _, p := range res.Patterns {
+		switch p.Chars {
+		case "AT", "TA", "A", "T", "CG", "GC", "C", "G":
+			if p.Windows != 1 && len(p.Chars) == 2 {
+				t.Errorf("windows(%s) = %d, want 1", p.Chars, p.Windows)
+			}
+		}
+	}
+	// "TC" spans the boundary: must NOT be frequent in fixed mode.
+	for _, p := range res.Patterns {
+		if p.Chars == "TC" {
+			t.Error("boundary-spanning TC reported under fixed windows")
+		}
+	}
+}
+
+// TestAprioriHolds: under the window model every sub-pattern of a
+// frequent pattern is frequent with at least the same window count (the
+// property the paper §2 notes makes these models easy — and which fails
+// for the gap model).
+func TestAprioriHolds(t *testing.T) {
+	s, err := gen.BacterialLike(400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := windowed.Mine(s, windowed.Params{
+		Gap: combinat.Gap{N: 1, M: 3}, Width: 40, MinWindows: 5, MaxLen: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byChars := map[string]int64{}
+	for _, p := range res.Patterns {
+		byChars[p.Chars] = p.Windows
+	}
+	checked := 0
+	for _, p := range res.Patterns {
+		if len(p.Chars) < 2 {
+			continue
+		}
+		for _, sub := range []string{p.Chars[:len(p.Chars)-1], p.Chars[1:]} {
+			w, ok := byChars[sub]
+			if !ok {
+				t.Fatalf("sub-pattern %q of %q missing", sub, p.Chars)
+			}
+			if w < p.Windows {
+				t.Errorf("windows(%q)=%d < windows(%q)=%d", sub, w, p.Chars, p.Windows)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no length-2+ patterns; vacuous")
+	}
+}
+
+// TestPaperCritiqueBoundarySpanning reproduces the paper's §2 argument
+// against fixed windows: a periodic pattern planted across a window
+// boundary is invisible to the window miner but found by MPP.
+func TestPaperCritiqueBoundarySpanning(t *testing.T) {
+	// Build a 200 bp sequence of C background with "A g(4) A g(4) A"
+	// chains planted every 20 positions starting at 16 — each chain
+	// spans [20k+16, 20k+26], crossing the fixed window boundary at
+	// 20(k+1).
+	buf := []byte(strings.Repeat("C", 200))
+	for start := 16; start+11 <= 200; start += 20 {
+		buf[start] = 'A'
+		buf[start+5] = 'A'
+		buf[start+10] = 'A'
+	}
+	s := mustSeq(t, string(buf))
+	g := combinat.Gap{N: 4, M: 4}
+
+	// The gap miner sees the AAA chain as heavily frequent.
+	mppRes, err := mine.MPP(s, core.Params{Gap: g, MinSupport: 0.01, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mppRes.Pattern("AAA"); !ok {
+		t.Fatalf("MPP missed the planted AAA chain: %v", mppRes.Patterns)
+	}
+
+	// Fixed windows of width 20 aligned to the boundary can never
+	// contain a full chain (span 11 but crossing position 20+25k).
+	winRes, err := windowed.Mine(s, windowed.Params{
+		Gap: g, Width: 20, MinWindows: 1, Mode: windowed.Fixed, StartLen: 3, MaxLen: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range winRes.Patterns {
+		if p.Chars == "AAA" {
+			t.Errorf("fixed-window miner reported boundary-spanning AAA (windows=%d)", p.Windows)
+		}
+	}
+}
+
+// TestSlidingSupportMatchesBruteForce cross-checks the interval-union
+// window counting against a naive per-window scan.
+func TestSlidingSupportMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64, wRaw, gapRaw uint8) bool {
+		s, err := gen.Uniform(seq.DNA, "q", 80, seed)
+		if err != nil {
+			return false
+		}
+		g := combinat.Gap{N: int(gapRaw % 3)}
+		g.M = g.N + int(gapRaw%2)
+		w := 6 + int(wRaw%10)
+		res, err := windowed.Mine(s, windowed.Params{
+			Gap: g, Width: w, MinWindows: 1, Mode: windowed.Sliding, StartLen: 2, MaxLen: 2,
+		})
+		if err != nil {
+			return false
+		}
+		// Brute force: for each window, check pattern occurrence by
+		// scanning all starts within it.
+		brute := func(chars string) int64 {
+			var count int64
+			for ws := 0; ws+w <= s.Len(); ws++ {
+				found := false
+				for x := ws; x < ws+w && !found; x++ {
+					if s.At(x) != chars[0] {
+						continue
+					}
+					for x2 := x + g.N + 1; x2 <= x+g.M+1 && x2 < ws+w; x2++ {
+						if s.At(x2) == chars[1] {
+							found = true
+							break
+						}
+					}
+				}
+				if found {
+					count++
+				}
+			}
+			return count
+		}
+		for _, p := range res.Patterns {
+			if len(p.Chars) != 2 {
+				continue
+			}
+			if brute(p.Chars) != p.Windows {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelsAndMaxLen(t *testing.T) {
+	s, err := gen.Uniform(seq.DNA, "u", 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := windowed.Mine(s, windowed.Params{
+		Gap: combinat.Gap{N: 0, M: 2}, Width: 30, MinWindows: 3, MaxLen: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) > 3 {
+		t.Errorf("MaxLen ignored: %d levels", len(res.Levels))
+	}
+	for _, p := range res.Patterns {
+		if len(p.Chars) > 3 {
+			t.Errorf("pattern %q exceeds MaxLen", p.Chars)
+		}
+		if p.Windows < 3 {
+			t.Errorf("pattern %q below MinWindows: %d", p.Chars, p.Windows)
+		}
+	}
+}
+
+// TestSlidingLength3BruteForce extends the brute-force cross-check to
+// length-3 patterns, exercising chained min-joins.
+func TestSlidingLength3BruteForce(t *testing.T) {
+	check := func(seed uint64, wRaw uint8) bool {
+		s, err := gen.Weighted(seq.DNA, "q", 70, []float64{0.4, 0.2, 0.2, 0.2}, seed)
+		if err != nil {
+			return false
+		}
+		g := combinat.Gap{N: 1, M: 2}
+		w := 10 + int(wRaw%8)
+		res, err := windowed.Mine(s, windowed.Params{
+			Gap: g, Width: w, MinWindows: 1, Mode: windowed.Sliding, StartLen: 3, MaxLen: 3,
+		})
+		if err != nil {
+			return false
+		}
+		occursIn := func(chars string, ws int) bool {
+			var walk func(pos, depth int) bool
+			walk = func(pos, depth int) bool {
+				if pos >= ws+w || s.At(pos) != chars[depth] {
+					return false
+				}
+				if depth == len(chars)-1 {
+					return true
+				}
+				for nx := pos + g.N + 1; nx <= pos+g.M+1 && nx < ws+w; nx++ {
+					if walk(nx, depth+1) {
+						return true
+					}
+				}
+				return false
+			}
+			for x := ws; x < ws+w; x++ {
+				if walk(x, 0) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range res.Patterns {
+			var brute int64
+			for ws := 0; ws+w <= s.Len(); ws++ {
+				if occursIn(p.Chars, ws) {
+					brute++
+				}
+			}
+			if brute != p.Windows {
+				t.Logf("%s w=%d: got %d, brute %d", p.Chars, w, p.Windows, brute)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinJoinGapWindow: prefix entries whose suffix window is empty must
+// produce no match entry, and the deque must recover for later entries
+// (regression guard for the sliding-minimum bookkeeping).
+func TestMinJoinGapWindow(t *testing.T) {
+	// S: A at 0 and 30; C at 2 (reachable from A@0 only) and 33
+	// (reachable from A@30). Pattern "AC" with gap [1,3].
+	buf := []byte(strings.Repeat("G", 40))
+	buf[0], buf[30] = 'A', 'A'
+	buf[2], buf[33] = 'C', 'C'
+	s := mustSeq(t, string(buf))
+	res, err := windowed.Mine(s, windowed.Params{
+		Gap: combinat.Gap{N: 1, M: 3}, Width: 10, MinWindows: 1,
+		Mode: windowed.Sliding, StartLen: 2, MaxLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ac *windowed.Pattern
+	for i := range res.Patterns {
+		if res.Patterns[i].Chars == "AC" {
+			ac = &res.Patterns[i]
+		}
+	}
+	if ac == nil {
+		t.Fatal("AC missing")
+	}
+	// Match [0,2]: window starts 0 (span 3, L-w=30 cap -> [0,0]).
+	// Match [30,33]: starts [24,30]. Total 1 + 7 = 8.
+	if ac.Windows != 8 {
+		t.Errorf("windows(AC) = %d, want 8", ac.Windows)
+	}
+}

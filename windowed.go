@@ -1,0 +1,62 @@
+package permine
+
+import (
+	"permine/internal/async"
+	"permine/internal/windowed"
+)
+
+// The window-based frequent-pattern model the paper contrasts itself
+// against in Section 2 (Mannila et al.'s sliding windows, Han et al.'s
+// non-overlapping windows) is provided for comparison studies: under it
+// the plain Apriori property holds, but patterns spanning window
+// boundaries are invisible and the width must be guessed in advance —
+// both limitations the gap-requirement model removes.
+
+// WindowMode selects the windowing scheme for MineWindowed.
+type WindowMode = windowed.Mode
+
+// Window modes.
+const (
+	// SlidingWindows uses all L-w+1 overlapping windows.
+	SlidingWindows = windowed.Sliding
+	// FixedWindows uses consecutive non-overlapping windows.
+	FixedWindows = windowed.Fixed
+)
+
+// WindowParams configures MineWindowed.
+type WindowParams = windowed.Params
+
+// WindowPattern is a pattern frequent under the window model, with the
+// number of windows containing it.
+type WindowPattern = windowed.Pattern
+
+// WindowResult is the outcome of a window-model mining run.
+type WindowResult = windowed.Result
+
+// MineWindowed mines s under the window-count frequency model: a pattern
+// (with the usual gap requirement between characters) is frequent when at
+// least MinWindows windows of width Width contain a match.
+func MineWindowed(s *Sequence, p WindowParams) (*WindowResult, error) {
+	return windowed.Mine(s, p)
+}
+
+// Asynchronous periodic patterns (Yang et al., the paper's §2 third
+// related model): fixed-period repetition chains that tolerate noise
+// between valid segments.
+
+// AsyncParams configures MineAsync.
+type AsyncParams = async.Params
+
+// AsyncChain is one (symbol, period) repetition chain.
+type AsyncChain = async.Chain
+
+// AsyncSegment is one maximal run of on-period repetitions.
+type AsyncSegment = async.Segment
+
+// MineAsync finds, per symbol and period, the longest valid repetition
+// chain under Yang et al.'s (min_rep, max_dis) model — provided for
+// comparison with the gap-requirement miner, whose variable gap absorbs
+// within-chain period jitter that this fixed-period model fragments.
+func MineAsync(s *Sequence, p AsyncParams) ([]AsyncChain, error) {
+	return async.Mine(s, p)
+}
