@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments verify examples clean
+.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check experiments verify examples clean
 
 all: build test
 
@@ -16,14 +16,30 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
-	$(GO) test -race ./internal/mine/ ./internal/pil/ ./internal/embound/
+	$(GO) test -race ./internal/async/ ./internal/mine/ ./internal/server/ ./internal/pil/ ./internal/embound/
+
+# The full pre-merge gate: build, vet, tests, and the race detector over
+# the concurrent packages.
+check: build vet test race bench-check
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record the regression-tracked kernel benchmarks into benchmarks/latest.txt.
+bench-baseline:
+	sh scripts/bench.sh
+
+# Compare benchmarks/latest.txt against the promoted baseline; skips when
+# no baseline exists. Threshold: BENCH_MAX_REGRESSION_PCT (default 5).
+bench-check:
+	sh scripts/bench-check.sh
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md).
 experiments:

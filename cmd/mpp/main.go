@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -48,9 +50,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxPrint = fs.Int("top", 40, "print at most this many patterns (0 = all)")
 		query    = fs.String("pattern", "", "query mode: report support and first occurrences of this pattern (paper notation, e.g. 'A..Tg(9,12)C') instead of mining")
 		asJSON   = fs.Bool("json", false, "emit results as JSON (one object per subject sequence)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(stdout, "mpp %s\n", permine.Version)
+		return nil
 	}
 
 	alpha, err := pickAlphabet(*alphabet)
@@ -116,8 +123,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 
+	// Ctrl-C cancels mining cooperatively at the next level or candidate
+	// batch instead of killing the process mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, s := range subjects {
-		res, err := mineOne(s, *algo, params)
+		res, err := mineOne(ctx, s, *algo, params)
 		if errors.Is(err, permine.ErrBudgetExceeded) {
 			// The enumeration baseline is exponential by design; a
 			// truncated run still reports its completed levels.
@@ -159,19 +171,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-func mineOne(s *permine.Sequence, algo string, p permine.Params) (*permine.Result, error) {
-	switch strings.ToLower(algo) {
-	case "mpp":
-		return permine.MPP(s, p)
-	case "mppm":
-		return permine.MPPm(s, p)
-	case "adaptive":
-		return permine.Adaptive(s, p)
-	case "enumerate":
-		return permine.Enumerate(s, p)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want mpp, mppm, adaptive, enumerate)", algo)
+func mineOne(ctx context.Context, s *permine.Sequence, algo string, p permine.Params) (*permine.Result, error) {
+	a, err := permine.ParseAlgorithm(strings.ToLower(algo))
+	if err != nil {
+		return nil, err
 	}
+	return permine.Mine(ctx, a, s, p)
 }
 
 func pickAlphabet(name string) (*permine.Alphabet, error) {

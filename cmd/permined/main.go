@@ -1,0 +1,120 @@
+// Command permined serves the permine miners over HTTP/JSON: asynchronous
+// mining jobs with cancellation and progress, an LRU result cache, and a
+// metrics endpoint. See internal/server for the API and README.md
+// ("Serving") for curl examples.
+//
+//	permined -addr :8080 -workers 4 -cache 256 -job-timeout 2m
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs are
+// cancelled at the next level boundary and the listener closes once the
+// pool is idle (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"permine"
+	"permine/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "permined:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("permined", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 2, "concurrent mining workers")
+		queueDepth   = fs.Int("queue", 64, "job queue depth (submits beyond it are rejected with 503)")
+		cacheSize    = fs.Int("cache", 128, "result cache size in entries (negative disables)")
+		retain       = fs.Int("retain", 1024, "finished jobs kept queryable")
+		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
+		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeouts (0 = job-timeout)")
+		syncLen      = fs.Int("max-sync-len", 1<<20, "longest sequence /v1/query accepts synchronously")
+		maxBody      = fs.Int64("max-body", 32<<20, "request body size limit in bytes")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
+		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
+		version      = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintf(stdout, "permined %s\n", permine.Version)
+		return nil
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Version:       permine.Version,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		Retain:        *retain,
+		JobTimeout:    *jobTimeout,
+		MaxTimeout:    *maxTimeout,
+		MaxSyncSeqLen: *syncLen,
+		MaxBodyBytes:  *maxBody,
+		Logger:        logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("permined listening", "addr", ln.Addr().String(), "version", permine.Version,
+		"workers", *workers, "queue", *queueDepth, "cache", *cacheSize)
+	fmt.Fprintf(stdout, "permined %s listening on %s\n", permine.Version, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	logger.Info("permined stopped")
+	return shutdownErr
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"permine"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "permined " + permine.Version + "\n"
+	if out.String() != want {
+		t.Errorf("output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("expected a flag parse error")
+	}
+}
+
+// lineWriter signals once a full line has been written.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	ready chan struct{}
+	once  sync.Once
+}
+
+func (w *lineWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.WriteString(string(b))
+	if strings.Contains(w.buf.String(), "\n") {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return n, err
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSmoke boots the daemon on an ephemeral port, hits /healthz, and
+// shuts it down through context cancellation (the signal path).
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	out := &lineWriter{ready: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, out)
+	}()
+
+	select {
+	case <-out.ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+	line := strings.TrimSpace(out.String())
+	addr := line[strings.LastIndex(line, " ")+1:]
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz on %q: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["version"] != permine.Version {
+		t.Errorf("healthz = %v, want ok + %s", health, permine.Version)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not stop after context cancellation")
+	}
+}

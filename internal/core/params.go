@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"permine/internal/combinat"
@@ -81,6 +82,73 @@ type Params struct {
 	// ErrBudgetExceeded. Zero defaults to 4 << 20. Ignored by MPP/MPPm,
 	// whose pruning keeps candidate sets small.
 	CandidateBudget int64
+
+	// Ctx optionally carries a context for cooperative cancellation. The
+	// miners check it between levels and between candidate batches; a
+	// cancelled run returns a *CancelledError wrapping ctx.Err(). Nil
+	// means context.Background() (never cancelled).
+	Ctx context.Context `json:"-"`
+
+	// Progress, when non-nil, is called after each completed level with
+	// that level's metrics, from the mining goroutine. Long-running
+	// callers (e.g. the permined job manager) use it to expose live
+	// per-level progress. Ignored for mining semantics.
+	Progress func(LevelMetrics) `json:"-"`
+}
+
+// Context returns the run's context: Ctx, or context.Background() when nil.
+func (p Params) Context() context.Context {
+	if p.Ctx == nil {
+		return context.Background()
+	}
+	return p.Ctx
+}
+
+// ReportLevel invokes the Progress callback, if any, with one completed
+// level's metrics.
+func (p Params) ReportLevel(lm LevelMetrics) {
+	if p.Progress != nil {
+		p.Progress(lm)
+	}
+}
+
+// CancelledError reports a mining run aborted by its context. It wraps
+// context.Canceled or context.DeadlineExceeded (test with errors.Is) and
+// records the level at which the abort was observed.
+type CancelledError struct {
+	// Algorithm that was running.
+	Algorithm Algorithm
+	// Level is the pattern length about to be (or being) counted when
+	// cancellation was observed.
+	Level int
+	// Err is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("core: %s cancelled at level %d: %v", e.Algorithm, e.Level, e.Err)
+}
+
+// Unwrap exposes the underlying context error to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// ParseAlgorithm maps a lower-case algorithm name ("mpp", "mppm",
+// "adaptive", "enumerate") to its Algorithm value.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "mpp":
+		return AlgoMPP, nil
+	case "mppm":
+		return AlgoMPPm, nil
+	case "adaptive", "mpp-adaptive":
+		return AlgoAdaptive, nil
+	case "enumerate", "enum":
+		return AlgoEnumerate, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q (want mpp, mppm, adaptive, enumerate)", name)
+	}
 }
 
 // ErrBudgetExceeded is returned (wrapped) by the enumeration baseline when

@@ -43,6 +43,11 @@ func Adaptive(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	var rounds []int
 	var last *core.Result
 	for {
+		// Each MPP round checks the context itself; checking here too
+		// surfaces cancellation between rounds without starting another.
+		if err := p.Context().Err(); err != nil {
+			return nil, &core.CancelledError{Algorithm: core.AlgoAdaptive, Level: n, Err: err}
+		}
 		rounds = append(rounds, n)
 		rp := p
 		rp.MaxLen = n

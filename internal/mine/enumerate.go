@@ -61,6 +61,11 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		return res, nil
 	}
 
+	ctx := p.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, &core.CancelledError{Algorithm: core.AlgoEnumerate, Level: p.StartLen, Err: err}
+	}
+
 	i := p.StartLen
 	seedWork := int64(1)
 	for k := 0; k < i; k++ {
@@ -82,6 +87,9 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		if counter.Nl(next).Sign() == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, &core.CancelledError{Algorithm: core.AlgoEnumerate, Level: next, Err: err}
+		}
 		if work += int64(len(nonzero)) * alphaN; work > p.CandidateBudget {
 			return finish(true)
 		}
@@ -95,7 +103,10 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 			pats = append(pats, chars)
 		}
 		sort.Strings(pats)
-		for _, p1 := range pats {
+		for pi, p1 := range pats {
+			if pi%cancelBatch == 0 && ctx.Err() != nil {
+				return nil, &core.CancelledError{Algorithm: core.AlgoEnumerate, Level: next, Err: ctx.Err()}
+			}
 			for c := 0; c < int(alphaN); c++ {
 				suffix := p1[1:] + string(s.Alphabet().Symbol(c))
 				sufList, ok := nonzero[suffix]
@@ -144,11 +155,13 @@ func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List
 	if charge.IsInt64() {
 		cand = charge.Int64()
 	}
-	r.res.Levels = append(r.res.Levels, core.LevelMetrics{
+	lm := core.LevelMetrics{
 		Level:      i,
 		Candidates: cand,
 		Frequent:   frequent,
 		Kept:       int64(len(pils)),
 		Lambda:     0,
-	})
+	}
+	r.res.Levels = append(r.res.Levels, lm)
+	r.p.ReportLevel(lm)
 }

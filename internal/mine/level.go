@@ -5,9 +5,11 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permine/internal/combinat"
@@ -46,6 +48,18 @@ func (r *runner) checkOverflow(level int) error {
 	return nil
 }
 
+// cancelBatch is how many candidate joins are counted between context
+// checks. Joins on realistic sequences take microseconds, so a batch keeps
+// the check overhead invisible while bounding cancellation latency well
+// below one level.
+const cancelBatch = 256
+
+// cancelled wraps a context error observed at the given level into the
+// typed core.CancelledError for this run's algorithm.
+func (r *runner) cancelled(level int, err error) error {
+	return &core.CancelledError{Algorithm: r.res.Algorithm, Level: level, Err: err}
+}
+
 // lambda returns the pruning factor applied at level i: λ(n, n−i) for
 // i <= n, and 1 beyond n (Figure 3 lines 6–7: best-effort region).
 func (r *runner) lambda(i int) float64 {
@@ -66,6 +80,7 @@ type patternEntry struct {
 // (pattern chars -> PIL, zero-support patterns absent). It fills
 // r.res.Patterns and r.res.Levels.
 func (r *runner) run(startPILs map[string]pil.List) {
+	ctx := r.p.Context()
 	i := r.p.StartLen
 	alphaN := int64(r.s.Alphabet().Size())
 
@@ -88,13 +103,20 @@ func (r *runner) run(startPILs map[string]pil.List) {
 		if r.counter.Nl(next).Sign() == 0 {
 			break // next > l2: no offset sequences exist
 		}
+		if err := ctx.Err(); err != nil {
+			r.err = r.cancelled(next, err)
+			break
+		}
 		if err := r.checkOverflow(next); err != nil {
 			r.err = err
 			break
 		}
 		levelStart := time.Now()
 		cands := gen(hat)
-		counted := r.countCandidates(hat, cands)
+		counted := r.countCandidates(ctx, next, hat, cands)
+		if r.err != nil {
+			break
+		}
 		kept := r.collectLevel(next, int64(len(cands)), counted)
 		r.res.Levels[len(r.res.Levels)-1].Elapsed += time.Since(levelStart)
 		hat = kept
@@ -128,14 +150,16 @@ func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry) m
 			hat[e.chars] = e.list
 		}
 	}
-	r.res.Levels = append(r.res.Levels, core.LevelMetrics{
+	lm := core.LevelMetrics{
 		Level:      i,
 		Candidates: candidates,
 		Frequent:   frequent,
 		Kept:       kept,
 		Lambda:     lam,
 		Elapsed:    time.Since(start),
-	})
+	}
+	r.res.Levels = append(r.res.Levels, lm)
+	r.p.ReportLevel(lm)
 	return hat
 }
 
@@ -172,10 +196,25 @@ func gen(hat map[string]pil.List) []candidate {
 // countCandidates computes the PIL and support of every candidate by
 // joining the parents' PILs, optionally fanning out over Params.Workers
 // goroutines. Entries with zero support are dropped; order follows cands.
-func (r *runner) countCandidates(hat map[string]pil.List, cands []candidate) []patternEntry {
+//
+// The context is checked every cancelBatch candidates (in every worker);
+// on cancellation counting stops early, r.err is set to a typed
+// core.CancelledError and nil is returned — partial counts are never
+// reported as results.
+func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]pil.List, cands []candidate) []patternEntry {
 	results := make([]patternEntry, len(cands))
+	var stop atomic.Bool
 	work := func(from, to int) {
 		for idx := from; idx < to; idx++ {
+			if idx%cancelBatch == 0 {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+			}
 			c := cands[idx]
 			list := pil.Join(hat[c.prefix], hat[c.suffix], r.p.Gap)
 			results[idx] = patternEntry{chars: c.chars, list: list, sup: list.Support()}
@@ -198,6 +237,10 @@ func (r *runner) countCandidates(hat map[string]pil.List, cands []candidate) []p
 			}(from, to)
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		r.err = r.cancelled(level, err)
+		return nil
 	}
 	out := results[:0]
 	for _, e := range results {

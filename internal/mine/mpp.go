@@ -20,6 +20,9 @@ func MPP(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.Context().Err(); err != nil {
+		return nil, &core.CancelledError{Algorithm: core.AlgoMPP, Level: p.StartLen, Err: err}
+	}
 	start := time.Now()
 	counter, err := combinat.NewCounter(s.Len(), p.Gap)
 	if err != nil {

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"permine/internal/core"
+	"permine/internal/seq"
+)
+
+// CacheKey identifies a mining result: the sequence content (by hash) plus
+// every parameter that influences the mined pattern set. Workers is
+// deliberately excluded — parallelism does not change results — as are the
+// context and progress callback.
+type CacheKey struct {
+	// SeqHash is sha256 over the alphabet name, a NUL separator, and the
+	// raw sequence characters. Two sequences with identical content but
+	// different FASTA names share results.
+	SeqHash [sha256.Size]byte
+	// Algorithm is the mining strategy.
+	Algorithm core.Algorithm
+	// GapN, GapM are the gap requirement [N, M].
+	GapN, GapM int
+	// MinSupport is the support-ratio threshold ρs.
+	MinSupport float64
+	// MaxLen, EmOrder, StartLen and CandidateBudget are the remaining
+	// result-affecting knobs (normalised, so defaults compare equal).
+	MaxLen, EmOrder, StartLen int
+	CandidateBudget           int64
+}
+
+// KeyFor derives the cache key for mining s with the given algorithm and
+// (already normalised or raw) parameters.
+func KeyFor(s *seq.Sequence, algo core.Algorithm, p core.Params) CacheKey {
+	if np, err := p.Normalize(); err == nil {
+		p = np
+	}
+	h := sha256.New()
+	h.Write([]byte(s.Alphabet().Name()))
+	h.Write([]byte{0})
+	h.Write([]byte(s.Data()))
+	var k CacheKey
+	h.Sum(k.SeqHash[:0])
+	k.Algorithm = algo
+	k.GapN, k.GapM = p.Gap.N, p.Gap.M
+	k.MinSupport = p.MinSupport
+	k.MaxLen = p.MaxLen
+	k.EmOrder = p.EmOrder
+	k.StartLen = p.StartLen
+	k.CandidateBudget = p.CandidateBudget
+	return k
+}
+
+// Cache is a bounded LRU of mining results with hit/miss accounting. The
+// cached *core.Result values are shared — callers must treat them as
+// immutable (the miners never mutate a returned Result).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[CacheKey]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	res *core.Result
+}
+
+// NewCache builds an LRU cache holding at most max results (max <= 0
+// disables caching: every Get misses and Put is a no-op).
+func NewCache(max int) *Cache {
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[CacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, if any, updating recency and
+// the hit/miss counters.
+func (c *Cache) Get(k CacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts (or refreshes) a result, evicting the least recently used
+// entry when the size bound is exceeded.
+func (c *Cache) Put(k CacheKey, res *core.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache accounting.
+type CacheStats struct {
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Stats returns current size, capacity and hit/miss counts.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Size:     c.order.Len(),
+		Capacity: c.max,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/seq"
+)
+
+func testSeq(t *testing.T, name, data string) *seq.Sequence {
+	t.Helper()
+	s, err := seq.NewDNA(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testParams() core.Params {
+	return core.Params{Gap: combinat.Gap{N: 1, M: 2}, MinSupport: 0.01}
+}
+
+func TestCacheKeyIdentity(t *testing.T) {
+	a := testSeq(t, "a", "ACGTACGTACGT")
+	sameContent := testSeq(t, "other-name", "ACGTACGTACGT")
+	different := testSeq(t, "a", "ACGTACGTACGA")
+
+	k1 := KeyFor(a, core.AlgoMPPm, testParams())
+	if k2 := KeyFor(sameContent, core.AlgoMPPm, testParams()); k1 != k2 {
+		t.Error("same content under a different name should share a cache key")
+	}
+	if k3 := KeyFor(different, core.AlgoMPPm, testParams()); k1 == k3 {
+		t.Error("different content must not share a cache key")
+	}
+	if k4 := KeyFor(a, core.AlgoMPP, testParams()); k1 == k4 {
+		t.Error("different algorithm must not share a cache key")
+	}
+	p := testParams()
+	p.MinSupport = 0.02
+	if k5 := KeyFor(a, core.AlgoMPPm, p); k1 == k5 {
+		t.Error("different support threshold must not share a cache key")
+	}
+	// Workers is execution detail, not result-affecting.
+	p = testParams()
+	p.Workers = 8
+	if k6 := KeyFor(a, core.AlgoMPPm, p); k1 != k6 {
+		t.Error("Workers must not influence the cache key")
+	}
+	// Defaults normalise: explicit default EmOrder equals implicit.
+	p = testParams()
+	p.EmOrder = core.DefaultEmOrder
+	if k7 := KeyFor(a, core.AlgoMPPm, p); k1 != k7 {
+		t.Error("explicitly default params must share the implicit-default key")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	seqs := []*seq.Sequence{
+		testSeq(t, "s1", "AAAACCCC"),
+		testSeq(t, "s2", "CCCCGGGG"),
+		testSeq(t, "s3", "GGGGTTTT"),
+	}
+	keys := make([]CacheKey, len(seqs))
+	for i, s := range seqs {
+		keys[i] = KeyFor(s, core.AlgoMPP, testParams())
+	}
+	res := &core.Result{Algorithm: core.AlgoMPP}
+
+	c.Put(keys[0], res)
+	c.Put(keys[1], res)
+	if _, ok := c.Get(keys[0]); !ok { // refresh key 0: key 1 becomes LRU
+		t.Fatal("expected key 0 present")
+	}
+	c.Put(keys[2], res) // evicts key 1
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("key 1 should have been evicted as least recently used")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("key 0 should survive (recently used)")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Error("key 2 should be present")
+	}
+
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+	// Gets above: refresh hit + evicted miss + two surviving hits.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+	if want := 3.0 / 4.0; st.HitRatio != want {
+		t.Errorf("hit ratio = %v, want %v", st.HitRatio, want)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	k := KeyFor(testSeq(t, "s", "ACGT"), core.AlgoMPP, testParams())
+	c.Put(k, &core.Result{})
+	if _, ok := c.Get(k); ok {
+		t.Error("disabled cache must never hit")
+	}
+	if st := c.Stats(); st.Size != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want size 0 and 1 miss", st)
+	}
+}

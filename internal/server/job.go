@@ -1,0 +1,488 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"permine/internal/core"
+	"permine/internal/mine"
+	"permine/internal/seq"
+)
+
+// JobState is the lifecycle state of a mining job.
+type JobState string
+
+// Job lifecycle states. Transitions: queued → running → {done, failed,
+// cancelled}; queued → cancelled directly when a job is cancelled before a
+// worker picks it up; queued → done directly on a cache hit.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one submitted mining run. All mutable state is guarded by mu;
+// handlers read through Snapshot.
+type Job struct {
+	id        string
+	algorithm core.Algorithm
+	seq       *seq.Sequence
+	params    core.Params
+	timeout   time.Duration
+	cacheKey  CacheKey
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      JobState
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	levels     []core.LevelMetrics
+	result     *core.Result
+	err        error
+	cacheHit   bool
+	note       string
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// addLevel records one completed mining level (called from the mining
+// goroutine via Params.Progress).
+func (j *Job) addLevel(lm core.LevelMetrics) {
+	j.mu.Lock()
+	j.levels = append(j.levels, lm)
+	j.mu.Unlock()
+}
+
+// JobView is the JSON representation of a job's state at one instant.
+type JobView struct {
+	ID         string              `json:"id"`
+	State      JobState            `json:"state"`
+	Algorithm  string              `json:"algorithm"`
+	SeqName    string              `json:"sequence_name"`
+	SeqLen     int                 `json:"sequence_len"`
+	CacheHit   bool                `json:"cache_hit"`
+	CreatedAt  time.Time           `json:"created_at"`
+	StartedAt  *time.Time          `json:"started_at,omitempty"`
+	FinishedAt *time.Time          `json:"finished_at,omitempty"`
+	Progress   []core.LevelMetrics `json:"progress,omitempty"`
+	Result     *core.Result        `json:"result,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	Note       string              `json:"note,omitempty"`
+}
+
+// Snapshot renders the job for JSON responses. The result is included only
+// for terminal states.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Algorithm: j.algorithm.String(),
+		SeqName:   j.seq.Name(),
+		SeqLen:    j.seq.Len(),
+		CacheHit:  j.cacheHit,
+		CreatedAt: j.createdAt,
+		Progress:  append([]core.LevelMetrics(nil), j.levels...),
+		Note:      j.note,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	if j.state.Terminal() {
+		v.Result = j.result
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// Errors returned by Manager.Submit and Manager.Cancel.
+var (
+	// ErrQueueFull rejects a submit when the job queue is at capacity
+	// (admission control; clients should retry later).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrShuttingDown rejects a submit during graceful shutdown.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrJobNotFound reports an unknown job id.
+	ErrJobNotFound = errors.New("server: job not found")
+	// ErrJobFinished rejects cancelling a job already in a terminal state.
+	ErrJobFinished = errors.New("server: job already finished")
+)
+
+// ManagerConfig configures a job Manager. Zero values take the documented
+// defaults.
+type ManagerConfig struct {
+	// Workers is the number of concurrent mining workers (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64); submits beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout is the per-job deadline once running (default 5m;
+	// negative disables the deadline).
+	JobTimeout time.Duration
+	// Retain bounds how many finished jobs stay queryable (default 1024);
+	// the oldest terminal jobs are evicted first.
+	Retain int
+	// Cache, when non-nil, short-circuits submits whose key hits and
+	// stores successful results.
+	Cache *Cache
+	// Metrics, when non-nil, receives job-state transitions and mining
+	// latencies.
+	Metrics *Metrics
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.Retain <= 0 {
+		c.Retain = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Manager runs mining jobs asynchronously on a bounded worker pool with
+// cancellation, per-job progress, timeouts, a result cache, and graceful
+// shutdown.
+type Manager struct {
+	cfg        ManagerConfig
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // creation order, for retention pruning
+	nextID uint64
+	closed bool
+
+	// OnLevel, when set before any Submit, is invoked after every
+	// completed mining level of every job, from the mining goroutine. It
+	// exists for tests and future progress streaming; it must not block
+	// for long — the worker waits on it.
+	OnLevel func(j *Job, lm core.LevelMetrics)
+}
+
+// NewManager starts a Manager and its worker pool.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Submit registers a mining job. On a cache hit the returned job is
+// already done (State JobDone, CacheHit true); otherwise it is queued.
+// timeout <= 0 uses the manager default.
+func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Params, timeout time.Duration) (*Job, error) {
+	np, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = m.cfg.JobTimeout
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		algorithm: algo,
+		seq:       s,
+		params:    np,
+		timeout:   timeout,
+		cacheKey:  KeyFor(s, algo, np),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     JobQueued,
+		createdAt: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("j-%06d", m.nextID)
+
+	if m.cfg.Cache != nil {
+		if res, ok := m.cfg.Cache.Get(j.cacheKey); ok {
+			j.state = JobDone
+			j.cacheHit = true
+			j.result = res
+			j.levels = append([]core.LevelMetrics(nil), res.Levels...)
+			now := time.Now()
+			j.startedAt, j.finishedAt = now, now
+			m.register(j)
+			m.mu.Unlock()
+			cancel()
+			m.transition(nil, "", JobDone)
+			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
+			return j, nil
+		}
+	}
+
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.register(j)
+	m.mu.Unlock()
+	m.transition(j, "", JobQueued)
+	m.cfg.Logger.Info("job queued", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
+	return j, nil
+}
+
+// register indexes the job and prunes old terminal jobs beyond the
+// retention bound. Caller holds m.mu.
+func (m *Manager) register(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if len(m.jobs) <= m.cfg.Retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		old, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(m.jobs) > m.cfg.Retain && old.State().Terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every retained job, newest first.
+func (m *Manager) Jobs() []JobView {
+	m.mu.Lock()
+	ordered := make([]*Job, 0, len(m.jobs))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		if j, ok := m.jobs[m.order[i]]; ok {
+			ordered = append(ordered, j)
+		}
+	}
+	m.mu.Unlock()
+	views := make([]JobView, len(ordered))
+	for i, j := range ordered {
+		views[i] = j.Snapshot()
+	}
+	return views
+}
+
+// Cancel cancels a queued or running job. The job flips to cancelled
+// immediately from the caller's point of view; a running worker observes
+// the context at the next level or candidate-batch boundary and its
+// (partial) output is discarded.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, ErrJobNotFound
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return j, ErrJobFinished
+	}
+	from := j.state
+	j.state = JobCancelled
+	j.finishedAt = time.Now()
+	j.err = context.Canceled
+	j.mu.Unlock()
+	j.cancel()
+	m.transition(nil, from, JobCancelled)
+	m.cfg.Logger.Info("job cancelled", "job", id, "was", string(from))
+	return j, nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job to a terminal state.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	m.transition(nil, JobQueued, JobRunning)
+
+	ctx := j.ctx
+	var cancelTimeout context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, j.timeout)
+		defer cancelTimeout()
+	}
+	p := j.params
+	p.Ctx = ctx
+	p.Progress = func(lm core.LevelMetrics) {
+		j.addLevel(lm)
+		if m.OnLevel != nil {
+			m.OnLevel(j, lm)
+		}
+	}
+
+	start := time.Now()
+	res, err := runAlgorithm(j.algorithm, j.seq, p)
+	elapsed := time.Since(start)
+
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Cancel won the race: the job is already cancelled from the
+		// client's point of view; discard whatever the run produced.
+		j.mu.Unlock()
+		return
+	}
+	j.finishedAt = time.Now()
+	var final JobState
+	switch {
+	case err == nil:
+		final, j.result = JobDone, res
+	case res != nil && errors.Is(err, core.ErrBudgetExceeded):
+		// The enumeration baseline reports a valid truncated result.
+		final, j.result = JobDone, res
+		j.note = "candidate budget exhausted; completed levels only"
+	case errors.Is(err, context.Canceled):
+		final, j.err = JobCancelled, err
+	case errors.Is(err, context.DeadlineExceeded):
+		final, j.err = JobFailed, fmt.Errorf("job timeout %v exceeded: %w", j.timeout, err)
+	default:
+		final, j.err = JobFailed, err
+	}
+	j.state = final
+	j.mu.Unlock()
+
+	m.transition(nil, JobRunning, final)
+	if m.cfg.Metrics != nil && (final == JobDone || final == JobFailed) {
+		m.cfg.Metrics.ObserveMining(j.algorithm.String(), elapsed)
+	}
+	if final == JobDone && m.cfg.Cache != nil {
+		m.cfg.Cache.Put(j.cacheKey, j.result)
+	}
+	m.cfg.Logger.Info("job finished", "job", j.id, "state", string(final), "elapsed", elapsed)
+}
+
+// runAlgorithm dispatches to internal/mine.
+func runAlgorithm(algo core.Algorithm, s *seq.Sequence, p core.Params) (*core.Result, error) {
+	switch algo {
+	case core.AlgoMPP:
+		return mine.MPP(s, p)
+	case core.AlgoMPPm:
+		return mine.MPPm(s, p)
+	case core.AlgoAdaptive:
+		return mine.Adaptive(s, p)
+	case core.AlgoEnumerate:
+		return mine.Enumerate(s, p)
+	default:
+		return nil, fmt.Errorf("server: unknown algorithm %v", algo)
+	}
+}
+
+// transition forwards a state change to metrics (j reserved for future
+// per-job hooks; may be nil).
+func (m *Manager) transition(_ *Job, from, to JobState) {
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.JobTransition(from, to)
+	}
+}
+
+// Shutdown stops accepting jobs, cancels queued and running work, and
+// waits (up to ctx) for workers to drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	m.baseCancel() // cancels every job context
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown timed out: %w", ctx.Err())
+	}
+}

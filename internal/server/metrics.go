@@ -1,0 +1,180 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the mining-latency
+// histogram, exponential from 1ms to 5m; an implicit +Inf bucket catches
+// the rest.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300,
+}
+
+// Histogram is a fixed-bucket latency histogram. It is not safe for
+// concurrent use on its own; Metrics serialises access.
+type Histogram struct {
+	counts []int64 // len(latencyBuckets)+1, last is +Inf
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *Histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// HistogramView is the JSON form of a histogram: cumulative bucket counts
+// keyed by upper bound, plus count/sum/mean.
+type HistogramView struct {
+	Count       int64            `json:"count"`
+	SumSeconds  float64          `json:"sum_seconds"`
+	MeanSeconds float64          `json:"mean_seconds"`
+	Buckets     []HistogramEntry `json:"buckets"`
+}
+
+// HistogramEntry is one cumulative histogram bucket; LE is the inclusive
+// upper bound in seconds (0 means +Inf).
+type HistogramEntry struct {
+	LE         float64 `json:"le,omitempty"`
+	Cumulative int64   `json:"cumulative"`
+}
+
+func (h *Histogram) view() HistogramView {
+	v := HistogramView{Count: h.n, SumSeconds: h.sum}
+	if h.n > 0 {
+		v.MeanSeconds = h.sum / float64(h.n)
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		e := HistogramEntry{Cumulative: cum}
+		if i < len(latencyBuckets) {
+			e.LE = latencyBuckets[i]
+		}
+		v.Buckets = append(v.Buckets, e)
+	}
+	return v
+}
+
+// Metrics aggregates service-wide counters: jobs by state, queue depth,
+// request counts by route and status class, and per-algorithm mining
+// latency histograms. All methods are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	started   time.Time
+	jobStates map[string]int64 // current number of jobs in each state
+	finished  map[string]int64 // cumulative terminal transitions
+	requests  map[string]int64 // "route status-class", e.g. "POST /v1/jobs 2xx"
+	latency   map[string]*Histogram
+	queueFn   func() int
+}
+
+// NewMetrics builds an empty registry; queueFn (optional) reports live
+// queue depth for snapshots.
+func NewMetrics(queueFn func() int) *Metrics {
+	return &Metrics{
+		started:   time.Now(),
+		jobStates: make(map[string]int64),
+		finished:  make(map[string]int64),
+		requests:  make(map[string]int64),
+		latency:   make(map[string]*Histogram),
+		queueFn:   queueFn,
+	}
+}
+
+// JobTransition moves one job from state `from` (empty for a brand-new
+// job) to state `to`, keeping the by-state gauges and, for terminal
+// states, the cumulative finished counters.
+func (m *Metrics) JobTransition(from, to JobState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" {
+		m.jobStates[string(from)]--
+	}
+	m.jobStates[string(to)]++
+	switch to {
+	case JobDone, JobFailed, JobCancelled:
+		m.finished[string(to)]++
+	}
+}
+
+// ObserveMining records one finished mining run's wall-clock latency under
+// its algorithm name.
+func (m *Metrics) ObserveMining(algorithm string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[algorithm]
+	if !ok {
+		h = newHistogram()
+		m.latency[algorithm] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ObserveRequest counts one HTTP request by route pattern and status class.
+func (m *Metrics) ObserveRequest(route string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	class := "2xx"
+	switch {
+	case status >= 500:
+		class = "5xx"
+	case status >= 400:
+		class = "4xx"
+	case status >= 300:
+		class = "3xx"
+	}
+	m.requests[route+" "+class]++
+}
+
+// MetricsSnapshot is the JSON payload of GET /v1/metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Jobs          map[string]int64         `json:"jobs_by_state"`
+	JobsFinished  map[string]int64         `json:"jobs_finished_total"`
+	QueueDepth    int                      `json:"queue_depth"`
+	Cache         CacheStats               `json:"cache"`
+	Requests      map[string]int64         `json:"requests_total"`
+	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
+}
+
+// Snapshot renders every counter; cache may be nil.
+func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Jobs:          make(map[string]int64, len(m.jobStates)),
+		JobsFinished:  make(map[string]int64, len(m.finished)),
+		Requests:      make(map[string]int64, len(m.requests)),
+		Latency:       make(map[string]HistogramView, len(m.latency)),
+	}
+	for k, v := range m.jobStates {
+		snap.Jobs[k] = v
+	}
+	for k, v := range m.finished {
+		snap.JobsFinished[k] = v
+	}
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, h := range m.latency {
+		snap.Latency[k] = h.view()
+	}
+	if m.queueFn != nil {
+		snap.QueueDepth = m.queueFn()
+	}
+	if cache != nil {
+		snap.Cache = cache.Stats()
+	}
+	return snap
+}

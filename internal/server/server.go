@@ -1,0 +1,551 @@
+// Package server exposes the permine miners as a long-running HTTP/JSON
+// service: asynchronous mining jobs on a bounded worker pool with
+// cooperative cancellation and per-level progress, an LRU result cache
+// keyed by sequence content and mining parameters, synchronous pattern
+// queries, and a hand-rolled metrics endpoint. cmd/permined is the daemon
+// wrapping it.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a mining job (JSON, or raw FASTA body with
+//	                     parameters in the query string)
+//	GET    /v1/jobs      list retained jobs, newest first
+//	GET    /v1/jobs/{id} job state, per-level progress, result when done
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	POST   /v1/query     synchronous pattern support/occurrences on small inputs
+//	GET    /v1/metrics   job/cache/request/latency counters (also /metrics)
+//	GET    /healthz      liveness + version
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/pattern"
+	"permine/internal/seq"
+)
+
+// Config configures a Server. Zero values take the documented defaults.
+type Config struct {
+	// Version is reported by /healthz (permine.Version in cmd/permined).
+	Version string
+	// Workers, QueueDepth, JobTimeout and Retain configure the job
+	// manager (see ManagerConfig).
+	Workers    int
+	QueueDepth int
+	JobTimeout time.Duration
+	Retain     int
+	// MaxTimeout clamps client-supplied per-job timeouts (default: the
+	// effective JobTimeout).
+	MaxTimeout time.Duration
+	// CacheSize bounds the result cache in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxSyncSeqLen bounds the sequence length /v1/query accepts
+	// (default 1<<20); longer inputs must go through a job.
+	MaxSyncSeqLen int
+	// Logger receives structured request and job logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxSyncSeqLen <= 0 {
+		c.MaxSyncSeqLen = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = c.JobTimeout
+	}
+	return c
+}
+
+// Server ties the job manager, cache and metrics behind an http.Handler.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	mgr     *Manager
+	handler http.Handler
+	started time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := NewCache(cfg.CacheSize)
+	metrics := NewMetrics(nil)
+	mgr := NewManager(ManagerConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		JobTimeout: cfg.JobTimeout,
+		Retain:     cfg.Retain,
+		Cache:      cache,
+		Metrics:    metrics,
+		Logger:     cfg.Logger,
+	})
+	metrics.queueFn = mgr.QueueDepth
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		metrics: metrics,
+		mgr:     mgr,
+		started: time.Now(),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.logging(mux)
+	return s
+}
+
+// Handler returns the root handler (request logging + routing).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Manager exposes the job manager (tests and progress streaming hooks).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Shutdown drains the job manager.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// logging is the structured-request-log + request-metrics middleware.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r)
+		s.metrics.ObserveRequest(route, sw.status)
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"elapsed", time.Since(start),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// routeLabel normalises a request to its route pattern so metrics do not
+// explode in cardinality over job ids.
+func routeLabel(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs/{id}"
+	}
+	return r.Method + " " + path
+}
+
+// apiError writes a JSON error body with the given status.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// paramsJSON is the wire form of core.Params. MinSupport is the ratio ρs
+// (0.003% = 0.00003), matching the library, not the CLI's percent flag.
+type paramsJSON struct {
+	GapMin          int     `json:"gap_min"`
+	GapMax          int     `json:"gap_max"`
+	MinSupport      float64 `json:"min_support"`
+	MaxLen          int     `json:"max_len,omitempty"`
+	EmOrder         int     `json:"em_order,omitempty"`
+	StartLen        int     `json:"start_len,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	CandidateBudget int64   `json:"candidate_budget,omitempty"`
+}
+
+func (p paramsJSON) toParams() core.Params {
+	return core.Params{
+		Gap:             combinat.Gap{N: p.GapMin, M: p.GapMax},
+		MinSupport:      p.MinSupport,
+		MaxLen:          p.MaxLen,
+		EmOrder:         p.EmOrder,
+		StartLen:        p.StartLen,
+		Workers:         p.Workers,
+		CandidateBudget: p.CandidateBudget,
+	}
+}
+
+// seqJSON is an inline sequence: data over a named alphabet ("dna",
+// "protein", or a custom symbol string).
+type seqJSON struct {
+	Alphabet string `json:"alphabet,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Data     string `json:"data"`
+}
+
+// jobRequest is the JSON body of POST /v1/jobs. Exactly one of Sequence
+// and FASTA must be set.
+type jobRequest struct {
+	Algorithm string     `json:"algorithm"`
+	Params    paramsJSON `json:"params"`
+	Sequence  *seqJSON   `json:"sequence,omitempty"`
+	FASTA     string     `json:"fasta,omitempty"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+
+	// fastaAlphabet carries the ?alphabet= query parameter of a raw
+	// FASTA upload to sequenceFrom.
+	fastaAlphabet string
+}
+
+// resolveAlphabet maps an alphabet name to a *seq.Alphabet; empty means DNA.
+func resolveAlphabet(name string) (*seq.Alphabet, error) {
+	switch strings.ToLower(name) {
+	case "", "dna":
+		return seq.DNA, nil
+	case "protein":
+		return seq.Protein, nil
+	default:
+		return seq.NewAlphabet("custom", name)
+	}
+}
+
+// sequenceFrom materialises the subject sequence of a request: inline
+// data, or the first record of a FASTA payload.
+func sequenceFrom(inline *seqJSON, fasta, alphabet string) (*seq.Sequence, error) {
+	switch {
+	case inline != nil && fasta != "":
+		return nil, errors.New("provide either sequence or fasta, not both")
+	case inline != nil:
+		name := inline.Name
+		if name == "" {
+			name = "inline"
+		}
+		alphaName := inline.Alphabet
+		if alphaName == "" {
+			alphaName = alphabet
+		}
+		alpha, err := resolveAlphabet(alphaName)
+		if err != nil {
+			return nil, err
+		}
+		if alpha == seq.DNA {
+			return seq.NewDNA(name, inline.Data)
+		}
+		return seq.New(alpha, name, inline.Data)
+	case fasta != "":
+		alpha, err := resolveAlphabet(alphabet)
+		if err != nil {
+			return nil, err
+		}
+		records, err := seq.ReadFASTA(strings.NewReader(fasta), alpha)
+		if err != nil {
+			return nil, err
+		}
+		if len(records) == 0 {
+			return nil, errors.New("fasta payload holds no records")
+		}
+		if len(records) > 1 {
+			return nil, fmt.Errorf("fasta payload holds %d records; submit one job per sequence", len(records))
+		}
+		return records[0], nil
+	default:
+		return nil, errors.New("missing sequence: provide sequence {alphabet,name,data} or fasta")
+	}
+}
+
+// decodeJobRequest parses POST /v1/jobs: a JSON body, or a raw FASTA body
+// (Content-Type text/x-fasta or text/plain) with mining parameters in the
+// query string.
+func decodeJobRequest(r *http.Request) (jobRequest, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "text/x-fasta" || ct == "text/plain" {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return jobRequest{}, fmt.Errorf("reading FASTA body: %w", err)
+		}
+		return jobRequestFromQuery(r, string(body))
+	}
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return jobRequest{}, fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return req, nil
+}
+
+// jobRequestFromQuery builds a jobRequest for a raw FASTA upload from URL
+// query parameters (algorithm, gap_min, gap_max, min_support, ...).
+func jobRequestFromQuery(r *http.Request, fasta string) (jobRequest, error) {
+	q := r.URL.Query()
+	req := jobRequest{Algorithm: q.Get("algorithm"), FASTA: fasta}
+	var err error
+	geti := func(key string, dst *int) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		var v int
+		if v, err = strconv.Atoi(q.Get(key)); err != nil {
+			err = fmt.Errorf("query parameter %s: %w", key, err)
+			return
+		}
+		*dst = v
+	}
+	geti("gap_min", &req.Params.GapMin)
+	geti("gap_max", &req.Params.GapMax)
+	geti("max_len", &req.Params.MaxLen)
+	geti("em_order", &req.Params.EmOrder)
+	geti("start_len", &req.Params.StartLen)
+	geti("workers", &req.Params.Workers)
+	if q.Has("min_support") {
+		if req.Params.MinSupport, err = strconv.ParseFloat(q.Get("min_support"), 64); err != nil {
+			return req, fmt.Errorf("query parameter min_support: %w", err)
+		}
+	}
+	if q.Has("candidate_budget") {
+		if req.Params.CandidateBudget, err = strconv.ParseInt(q.Get("candidate_budget"), 10, 64); err != nil {
+			return req, fmt.Errorf("query parameter candidate_budget: %w", err)
+		}
+	}
+	if q.Has("timeout_ms") {
+		if req.TimeoutMS, err = strconv.ParseInt(q.Get("timeout_ms"), 10, 64); err != nil {
+			return req, fmt.Errorf("query parameter timeout_ms: %w", err)
+		}
+	}
+	if err != nil {
+		return req, err
+	}
+	if a := q.Get("alphabet"); a != "" {
+		// carried through sequenceFrom via the request's alphabet field
+		req.Sequence = nil
+		req.fastaAlphabet = a
+	}
+	return req, nil
+}
+
+// handleSubmit implements POST /v1/jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeJobRequest(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "mppm"
+	}
+	algo, err := core.ParseAlgorithm(strings.ToLower(req.Algorithm))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	subject, err := sequenceFrom(req.Sequence, req.FASTA, req.fastaAlphabet)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := req.Params.toParams()
+	if _, err := params.Normalize(); err != nil {
+		apiError(w, http.StatusBadRequest, "invalid params: %v", err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout < 0 {
+		apiError(w, http.StatusBadRequest, "timeout_ms must be >= 0")
+		return
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	job, err := s.mgr.Submit(subject, algo, params, timeout)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		apiError(w, http.StatusServiceUnavailable, "%v; retry later", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		apiError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if job.State() == JobDone {
+		status = http.StatusOK // cache hit: result inline
+	}
+	writeJSON(w, status, job.Snapshot())
+}
+
+// handleList implements GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.Jobs()})
+}
+
+// handleGet implements GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrJobNotFound):
+		apiError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	case errors.Is(err, ErrJobFinished):
+		apiError(w, http.StatusConflict, "job %q already %s", job.ID(), job.State())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// queryRequest is the JSON body of POST /v1/query: a synchronous support /
+// occurrence computation for one pattern on a small sequence.
+type queryRequest struct {
+	// Pattern uses the paper's notation: shorthand ("ATC"), wild-card
+	// dots ("A..T"), explicit gaps ("Ag(9,12)T"), freely mixed.
+	Pattern  string   `json:"pattern"`
+	GapMin   int      `json:"gap_min"`
+	GapMax   int      `json:"gap_max"`
+	Sequence *seqJSON `json:"sequence,omitempty"`
+	FASTA    string   `json:"fasta,omitempty"`
+	// Limit bounds returned occurrences (default 10; supports can be
+	// astronomically large).
+	Limit int `json:"limit,omitempty"`
+}
+
+// handleQuery implements POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, "decoding JSON body: %v", err)
+		return
+	}
+	if req.Pattern == "" {
+		apiError(w, http.StatusBadRequest, "missing pattern")
+		return
+	}
+	subject, err := sequenceFrom(req.Sequence, req.FASTA, "")
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if subject.Len() > s.cfg.MaxSyncSeqLen {
+		apiError(w, http.StatusRequestEntityTooLarge,
+			"sequence length %d exceeds the synchronous limit %d; submit a job instead",
+			subject.Len(), s.cfg.MaxSyncSeqLen)
+		return
+	}
+	gap := combinat.Gap{N: req.GapMin, M: req.GapMax}
+	if err := gap.Validate(); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pat, err := pattern.Parse(req.Pattern, gap)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sup, err := pattern.Support(subject, pat)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	occ, err := pattern.Occurrences(subject, pat, limit)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pattern":     pat.String(),
+		"sequence":    subject.Name(),
+		"support":     sup,
+		"occurrences": occ,
+		"truncated":   int64(len(occ)) < sup,
+	})
+}
+
+// handleMetrics implements GET /v1/metrics (and GET /metrics).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        s.cfg.Version,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}

@@ -39,6 +39,7 @@
 package permine
 
 import (
+	"context"
 	"io"
 	"math/big"
 
@@ -80,6 +81,14 @@ const (
 
 // ErrBudgetExceeded wraps enumeration-baseline truncation.
 var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// CancelledError reports a mining run aborted by its context; it wraps
+// context.Canceled or context.DeadlineExceeded (test with errors.Is).
+type CancelledError = core.CancelledError
+
+// ParseAlgorithm maps an algorithm name ("mpp", "mppm", "adaptive",
+// "enumerate") to its Algorithm value.
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
 
 // Alphabet is a finite ordered symbol set.
 type Alphabet = seq.Alphabet
@@ -136,6 +145,55 @@ func Adaptive(s *Sequence, p Params) (*Result, error) { return mine.Adaptive(s, 
 // algorithm"). It is exponential; Params.CandidateBudget bounds the work
 // and a truncated run returns a wrapped ErrBudgetExceeded.
 func Enumerate(s *Sequence, p Params) (*Result, error) { return mine.Enumerate(s, p) }
+
+// Mine dispatches to the named algorithm under the given context. The
+// context is checked between levels and candidate batches; a cancelled run
+// returns a *CancelledError wrapping ctx.Err(). This is the entry point
+// long-running callers (servers, pipelines) should prefer.
+func Mine(ctx context.Context, algo Algorithm, s *Sequence, p Params) (*Result, error) {
+	p.Ctx = ctx
+	switch algo {
+	case AlgoMPP:
+		return mine.MPP(s, p)
+	case AlgoMPPm:
+		return mine.MPPm(s, p)
+	case AlgoAdaptive:
+		return mine.Adaptive(s, p)
+	case AlgoEnumerate:
+		return mine.Enumerate(s, p)
+	default:
+		return nil, &UnknownAlgorithmError{Algorithm: algo}
+	}
+}
+
+// UnknownAlgorithmError reports a Mine call with an Algorithm value
+// outside the defined set.
+type UnknownAlgorithmError struct{ Algorithm Algorithm }
+
+// Error implements error.
+func (e *UnknownAlgorithmError) Error() string {
+	return "permine: unknown algorithm " + e.Algorithm.String()
+}
+
+// MPPContext is MPP with cooperative cancellation via ctx.
+func MPPContext(ctx context.Context, s *Sequence, p Params) (*Result, error) {
+	return Mine(ctx, AlgoMPP, s, p)
+}
+
+// MPPmContext is MPPm with cooperative cancellation via ctx.
+func MPPmContext(ctx context.Context, s *Sequence, p Params) (*Result, error) {
+	return Mine(ctx, AlgoMPPm, s, p)
+}
+
+// AdaptiveContext is Adaptive with cooperative cancellation via ctx.
+func AdaptiveContext(ctx context.Context, s *Sequence, p Params) (*Result, error) {
+	return Mine(ctx, AlgoAdaptive, s, p)
+}
+
+// EnumerateContext is Enumerate with cooperative cancellation via ctx.
+func EnumerateContext(ctx context.Context, s *Sequence, p Params) (*Result, error) {
+	return Mine(ctx, AlgoEnumerate, s, p)
+}
 
 // Support computes sup(P) of the shorthand pattern (e.g. "ATC") on s
 // under the gap requirement, using partial index lists; cost O(|P|·L).

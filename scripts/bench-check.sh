@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail on
+# per-benchmark ns/op regressions above BENCH_MAX_REGRESSION_PCT (default 5).
+#
+# A missing baseline or missing latest run is a skip, not a failure, so
+# fresh checkouts pass `make check` without a mandatory benchmark run.
+# Benchmarks present on only one side are reported but never fatal (the set
+# evolves); only a matched benchmark that slowed down beyond the threshold
+# fails the check.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [ ! -f benchmarks/baseline.txt ]; then
+    echo "bench-check: no benchmarks/baseline.txt; skipping (run scripts/bench-update.sh to create one)" >&2
+    exit 0
+fi
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "bench-check: no benchmarks/latest.txt; skipping (run scripts/bench.sh to record a run)" >&2
+    exit 0
+fi
+
+awk -v max_pct="$MAX_PCT" '
+    # Benchmark lines look like:
+    #   BenchmarkPILJoin  43352  2668 ns/op  1234 B/op  5 allocs/op
+    # Strip -cpu suffixes so baselines move across machines; with -count>1
+    # keep the fastest run per name on each side.
+    function record(tbl, name, ns) {
+        sub(/-[0-9]+$/, "", name)
+        if (!(name in tbl) || ns < tbl[name]) tbl[name] = ns
+    }
+    FNR == 1 { side++ }
+    /^Benchmark/ && $4 == "ns/op" {
+        if (side == 1) record(base, $1, $3); else record(latest, $1, $3)
+    }
+    END {
+        status = 0
+        for (name in latest) {
+            if (!(name in base)) {
+                printf "bench-check: %-40s new (no baseline)\n", name
+                continue
+            }
+            pct = (latest[name] - base[name]) * 100.0 / base[name]
+            if (pct > max_pct) {
+                printf "bench-check: %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  REGRESSION (> %s%%)\n", \
+                    name, base[name], latest[name], pct, max_pct
+                status = 1
+            } else {
+                printf "bench-check: %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  ok\n", \
+                    name, base[name], latest[name], pct
+            }
+        }
+        for (name in base) if (!(name in latest))
+            printf "bench-check: %-40s dropped from latest run\n", name
+        exit status
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Promote benchmarks/latest.txt to the tracked baseline after review.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "benchmarks/latest.txt missing; run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt" >&2

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Run the regression-tracked benchmark set and record benchmarks/latest.txt.
+#
+# Configuration (environment):
+#   BENCH_PATTERN   -bench regexp            (default: the kernel set below)
+#   BENCH_PKGS      packages to benchmark    (default: the root package)
+#   BENCH_TIME      -benchtime per benchmark (default: 300ms)
+#   BENCH_COUNT     -count repetitions       (default: 1)
+#
+# The default set covers the hot kernels (PIL join, k-length scan, support
+# counting, e_m measurement) rather than the full paper-reproduction suite,
+# which is slow and better run explicitly via `make bench`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# EmOrder8 only: the m=10 and Ablation variants run single-digit
+# iterations at this benchtime and are too noisy to regression-gate.
+BENCH_PATTERN="${BENCH_PATTERN:-PILJoin|ScanK|Support\$|EmOrder8}"
+BENCH_PKGS="${BENCH_PKGS:-.}"
+BENCH_TIME="${BENCH_TIME:-300ms}"
+# Three runs per benchmark: bench-check compares fastest-of-N per side,
+# which filters scheduler noise a single run cannot.
+BENCH_COUNT="${BENCH_COUNT:-3}"
+
+mkdir -p benchmarks
+echo "running benchmarks: -bench '${BENCH_PATTERN}' ${BENCH_PKGS}" >&2
+go test -run '^$' -bench "${BENCH_PATTERN}" -benchtime "${BENCH_TIME}" \
+    -count "${BENCH_COUNT}" -benchmem ${BENCH_PKGS} | tee benchmarks/latest.txt
+echo "wrote benchmarks/latest.txt" >&2

@@ -1,0 +1,8 @@
+package permine
+
+// Version identifies the build of the permine library and its commands
+// (cmd/mpp -version, cmd/permined -version and its /healthz payload).
+// Release builds override it at link time:
+//
+//	go build -ldflags "-X permine.Version=v1.2.3" ./cmd/...
+var Version = "0.2.0-dev"
