@@ -5,6 +5,12 @@
 //
 //	permined -addr :8080 -workers 4 -cache 256 -job-timeout 2m
 //
+// With -data-dir set, jobs are journaled to a checksummed write-ahead log
+// and recovered on restart: finished jobs stay queryable, interrupted
+// ones are re-executed under -retry-budget/-retry-backoff, and a failing
+// disk degrades the store to memory-only (visible on /healthz) instead of
+// killing the daemon. See README.md ("Persistence & crash recovery").
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs are
 // cancelled at the next level boundary and the listener closes once the
 // pool is idle (bounded by -drain-timeout).
@@ -47,6 +53,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeouts (0 = job-timeout)")
 		syncLen      = fs.Int("max-sync-len", 1<<20, "longest sequence /v1/query accepts synchronously")
 		maxBody      = fs.Int64("max-body", 32<<20, "request body size limit in bytes")
+		dataDir      = fs.String("data-dir", "", "journal jobs here and recover them on restart (empty = in-memory only)")
+		compactBytes = fs.Int64("compact-bytes", 4<<20, "journal size triggering snapshot compaction")
+		retryBudget  = fs.Int("retry-budget", 3, "re-executions allowed for a job interrupted by crashes")
+		retryBackoff = fs.Duration("retry-backoff", 500*time.Millisecond, "delay before a recovered job re-runs (doubles per attempt)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		version      = fs.Bool("version", false, "print version and exit")
@@ -75,6 +85,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxTimeout:    *maxTimeout,
 		MaxSyncSeqLen: *syncLen,
 		MaxBodyBytes:  *maxBody,
+		DataDir:       *dataDir,
+		CompactBytes:  *compactBytes,
+		RetryBudget:   *retryBudget,
+		RetryBackoff:  *retryBackoff,
 		Logger:        logger,
 	})
 
@@ -93,7 +107,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	logger.Info("permined listening", "addr", ln.Addr().String(), "version", permine.Version,
-		"workers", *workers, "queue", *queueDepth, "cache", *cacheSize)
+		"workers", *workers, "queue", *queueDepth, "cache", *cacheSize, "data_dir", *dataDir)
 	fmt.Fprintf(stdout, "permined %s listening on %s\n", permine.Version, ln.Addr())
 
 	errc := make(chan error, 1)

@@ -3,9 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -97,5 +101,117 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not stop after context cancellation")
+	}
+}
+
+// startPermined launches the given binary and returns the process plus the
+// address it announced on stdout.
+func startPermined(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	out := &lineWriter{ready: make(chan struct{})}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = out
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-out.ready:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon never announced its address")
+	}
+	line := strings.TrimSpace(out.String())
+	return cmd, line[strings.LastIndex(line, " ")+1:]
+}
+
+// TestRestartRecovery is the crash-recovery proof at the process level: a
+// permined binary is SIGKILLed right after accepting a job, restarted on
+// the same data dir, and must drive the recovered job to done.
+func TestRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "permined")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1",
+		"-data-dir", dataDir, "-retry-backoff", "50ms", "-drain-timeout", "5s"}
+
+	cmd1, addr := startPermined(t, bin, args...)
+	// A sequence long enough that the job is very likely still in flight
+	// when the process dies (recovery is correct either way: terminal
+	// replays, interrupted re-runs).
+	var sb strings.Builder
+	state := uint64(7)
+	for i := 0; i < 40000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		sb.WriteByte("ACGT"[state>>62])
+	}
+	body := `{"algorithm":"mppm","params":{"gap_min":2,"gap_max":4,"min_support":0.0005,"max_len":6},` +
+		`"sequence":{"alphabet":"dna","name":"crashme","data":"` + sb.String() + `"}}`
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		cmd1.Process.Kill()
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		cmd1.Process.Kill()
+		t.Fatalf("submit decode: %v (id %q)", err, submitted.ID)
+	}
+
+	// SIGKILL: no drain, no journal finalisation — a genuine crash.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	cmd2, addr2 := startPermined(t, bin, args...)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after restart", submitted.ID)
+		}
+		resp, err := http.Get("http://" + addr2 + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("GET recovered job: status %d", resp.StatusCode)
+		}
+		var view struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch view.State {
+		case "done":
+			if len(view.Result) == 0 {
+				t.Fatal("recovered job done without a result")
+			}
+			return
+		case "failed", "cancelled":
+			t.Fatalf("recovered job landed in %s (%s)", view.State, view.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

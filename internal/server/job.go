@@ -8,9 +8,12 @@ import (
 	"sync"
 	"time"
 
+	"encoding/json"
+
 	"permine/internal/core"
 	"permine/internal/mine"
 	"permine/internal/seq"
+	"permine/internal/server/store"
 )
 
 // JobState is the lifecycle state of a mining job.
@@ -47,6 +50,7 @@ type Job struct {
 
 	mu         sync.Mutex
 	state      JobState
+	attempts   int // executions consumed by crash-recovery re-runs
 	createdAt  time.Time
 	startedAt  time.Time
 	finishedAt time.Time
@@ -83,6 +87,7 @@ type JobView struct {
 	SeqName    string              `json:"sequence_name"`
 	SeqLen     int                 `json:"sequence_len"`
 	CacheHit   bool                `json:"cache_hit"`
+	Attempts   int                 `json:"attempts,omitempty"`
 	CreatedAt  time.Time           `json:"created_at"`
 	StartedAt  *time.Time          `json:"started_at,omitempty"`
 	FinishedAt *time.Time          `json:"finished_at,omitempty"`
@@ -104,6 +109,7 @@ func (j *Job) Snapshot() JobView {
 		SeqName:   j.seq.Name(),
 		SeqLen:    j.seq.Len(),
 		CacheHit:  j.cacheHit,
+		Attempts:  j.attempts,
 		CreatedAt: j.createdAt,
 		Progress:  append([]core.LevelMetrics(nil), j.levels...),
 		Note:      j.note,
@@ -158,6 +164,16 @@ type ManagerConfig struct {
 	// Metrics, when non-nil, receives job-state transitions and mining
 	// latencies.
 	Metrics *Metrics
+	// Store durably journals job transitions for crash recovery (default:
+	// the no-op in-memory store). Submit returns only after the accepted
+	// job is journaled, so an acknowledged job survives a crash.
+	Store store.Store
+	// RetryBudget bounds how many times a job interrupted by a crash is
+	// re-executed across restarts before being failed (default 3).
+	RetryBudget int
+	// RetryBackoff is the delay before a recovered job's first
+	// re-execution, doubling per prior attempt (default 500ms).
+	RetryBackoff time.Duration
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -174,6 +190,15 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.Retain <= 0 {
 		c.Retain = 1024
+	}
+	if c.Store == nil {
+		c.Store = store.NewMemory()
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -267,14 +292,21 @@ func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Param
 			now := time.Now()
 			j.startedAt, j.finishedAt = now, now
 			m.register(j)
+			rec := recordForJob(j)
 			m.mu.Unlock()
 			cancel()
+			m.cfg.Store.AppendSubmit(rec)
 			m.transition(nil, "", JobDone)
 			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
 			return j, nil
 		}
 	}
 
+	// Render the durable record before a worker can touch the job; it is
+	// journaled after the enqueue so ErrQueueFull leaves no trace. A crash
+	// in between re-runs at most this one job's already-finished work (the
+	// replay ignores out-of-order transitions for unknown jobs).
+	rec := recordForJob(j)
 	select {
 	case m.queue <- j:
 	default:
@@ -284,6 +316,7 @@ func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Param
 	}
 	m.register(j)
 	m.mu.Unlock()
+	m.cfg.Store.AppendSubmit(rec)
 	m.transition(j, "", JobQueued)
 	m.cfg.Logger.Info("job queued", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
 	return j, nil
@@ -355,8 +388,12 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	j.state = JobCancelled
 	j.finishedAt = time.Now()
 	j.err = context.Canceled
+	finishedAt := j.finishedAt
 	j.mu.Unlock()
 	j.cancel()
+	m.cfg.Store.AppendOutcome(j.id, store.Outcome{
+		State: string(JobCancelled), Error: context.Canceled.Error(), FinishedAt: finishedAt,
+	})
 	m.transition(nil, from, JobCancelled)
 	m.cfg.Logger.Info("job cancelled", "job", id, "was", string(from))
 	return j, nil
@@ -379,7 +416,9 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.state = JobRunning
 	j.startedAt = time.Now()
+	startedAt, attempts := j.startedAt, j.attempts
 	j.mu.Unlock()
+	m.cfg.Store.AppendState(j.id, string(JobRunning), attempts, startedAt)
 	m.transition(nil, JobQueued, JobRunning)
 
 	ctx := j.ctx
@@ -425,8 +464,16 @@ func (m *Manager) runJob(j *Job) {
 		final, j.err = JobFailed, err
 	}
 	j.state = final
+	out := store.Outcome{State: string(final), Note: j.note, FinishedAt: j.finishedAt}
+	if j.result != nil {
+		out.Result, _ = json.Marshal(j.result)
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
 	j.mu.Unlock()
 
+	m.cfg.Store.AppendOutcome(j.id, out)
 	m.transition(nil, JobRunning, final)
 	if m.cfg.Metrics != nil && (final == JobDone || final == JobFailed) {
 		m.cfg.Metrics.ObserveMining(j.algorithm.String(), elapsed)

@@ -336,3 +336,117 @@ func TestManagerRetention(t *testing.T) {
 	}
 }
 
+// TestManagerCancelQueued: cancelling a job that is still waiting in the
+// queue terminates it immediately — no worker slot is consumed, no
+// StartedAt is set, and the slot serves the next job.
+func TestManagerCancelQueued(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{Workers: 1})
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	m.OnLevel = func(j *Job, lm core.LevelMetrics) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+
+	s := genomeSeq(t, 400, 7)
+	j1, err := m.Submit(s, core.AlgoMPP, miningParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now pinned inside j1
+
+	p2 := miningParams()
+	p2.MinSupport = 0.0006 // distinct cache key
+	j2, err := m.Submit(s, core.AlgoMPP, p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.State(); got != JobQueued {
+		t.Fatalf("second job state = %s, want queued", got)
+	}
+	if _, err := m.Cancel(j2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Terminal at once — nothing to drain, no worker involved.
+	v2 := j2.Snapshot()
+	if v2.State != JobCancelled || v2.Result != nil || v2.StartedAt != nil {
+		t.Fatalf("cancelled-while-queued job = %+v, want cancelled, never started", v2)
+	}
+	if len(v2.Progress) != 0 {
+		t.Errorf("queued job recorded %d levels", len(v2.Progress))
+	}
+
+	// Release the worker: j1 finishes and the freed slot must go to new
+	// work, not to the cancelled job.
+	close(release)
+	m.OnLevel = nil
+	if v1 := waitTerminal(t, j1); v1.State != JobDone {
+		t.Fatalf("first job finished %s", v1.State)
+	}
+	p3 := miningParams()
+	p3.MinSupport = 0.0007
+	j3, err := m.Submit(s, core.AlgoMPP, p3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 := waitTerminal(t, j3); v3.State != JobDone {
+		t.Fatalf("third job finished %s, want done (slot must be free)", v3.State)
+	}
+	if got := j2.State(); got != JobCancelled {
+		t.Errorf("cancelled job resurrected to %s", got)
+	}
+}
+
+// TestManagerCancelRace: cancels racing worker pickup across many jobs;
+// under -race this gates the queued-vs-running cancel handoff. Every job
+// must land terminal with a consistent snapshot either way.
+func TestManagerCancelRace(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{Workers: 2, QueueDepth: 64})
+	s := genomeSeq(t, 300, 5)
+
+	const jobs = 40
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		p := miningParams()
+		p.MinSupport = 0.0005 + float64(i)*1e-6 // defeat the cache
+		j, err := m.Submit(s, core.AlgoMPP, p, 0)
+		if err == ErrQueueFull {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			m.Cancel(j.ID()) // races the worker dequeuing this very job
+			// Poll to terminal without waitTerminal: t.Fatal is not
+			// allowed from this goroutine.
+			deadline := time.Now().Add(30 * time.Second)
+			for !j.State().Terminal() {
+				if time.Now().After(deadline) {
+					t.Errorf("job %s stuck in %s", j.ID(), j.State())
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			v := j.Snapshot()
+			switch v.State {
+			case JobCancelled:
+				if v.Result != nil {
+					t.Errorf("job %s cancelled but has a result", v.ID)
+				}
+			case JobDone:
+				if v.Result == nil {
+					t.Errorf("job %s done without a result", v.ID)
+				}
+			default:
+				t.Errorf("job %s landed in %s", v.ID, v.State)
+			}
+		}(j)
+	}
+	wg.Wait()
+}

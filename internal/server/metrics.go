@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"permine/internal/server/store"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the mining-latency
@@ -74,8 +76,10 @@ type Metrics struct {
 	jobStates map[string]int64 // current number of jobs in each state
 	finished  map[string]int64 // cumulative terminal transitions
 	requests  map[string]int64 // "route status-class", e.g. "POST /v1/jobs 2xx"
+	recovery  map[string]int64 // boot-time crash-recovery outcomes
 	latency   map[string]*Histogram
 	queueFn   func() int
+	storeFn   func() store.Stats
 }
 
 // NewMetrics builds an empty registry; queueFn (optional) reports live
@@ -86,6 +90,7 @@ func NewMetrics(queueFn func() int) *Metrics {
 		jobStates: make(map[string]int64),
 		finished:  make(map[string]int64),
 		requests:  make(map[string]int64),
+		recovery:  make(map[string]int64),
 		latency:   make(map[string]*Histogram),
 		queueFn:   queueFn,
 	}
@@ -105,6 +110,19 @@ func (m *Metrics) JobTransition(from, to JobState) {
 	case JobDone, JobFailed, JobCancelled:
 		m.finished[string(to)]++
 	}
+}
+
+// JobRecovered notes one job reconstructed from the journal at boot: the
+// by-state gauge absorbs it (empty state for records that produced no
+// job) and the recovery outcome ("terminal", "requeued", "retry_exhausted",
+// "skipped") is counted for the snapshot's recovery map.
+func (m *Metrics) JobRecovered(state JobState, outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if state != "" {
+		m.jobStates[string(state)]++
+	}
+	m.recovery[outcome]++
 }
 
 // ObserveMining records one finished mining run's wall-clock latency under
@@ -143,6 +161,8 @@ type MetricsSnapshot struct {
 	JobsFinished  map[string]int64         `json:"jobs_finished_total"`
 	QueueDepth    int                      `json:"queue_depth"`
 	Cache         CacheStats               `json:"cache"`
+	Store         store.Stats              `json:"store"`
+	Recovery      map[string]int64         `json:"recovery,omitempty"`
 	Requests      map[string]int64         `json:"requests_total"`
 	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
 }
@@ -170,8 +190,19 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	for k, h := range m.latency {
 		snap.Latency[k] = h.view()
 	}
+	if len(m.recovery) > 0 {
+		snap.Recovery = make(map[string]int64, len(m.recovery))
+		for k, v := range m.recovery {
+			snap.Recovery[k] = v
+		}
+	}
 	if m.queueFn != nil {
 		snap.QueueDepth = m.queueFn()
+	}
+	if m.storeFn != nil {
+		snap.Store = m.storeFn()
+	} else {
+		snap.Store = store.Stats{Backend: "memory"}
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()

@@ -34,6 +34,7 @@ import (
 	"permine/internal/core"
 	"permine/internal/pattern"
 	"permine/internal/seq"
+	"permine/internal/server/store"
 )
 
 // Config configures a Server. Zero values take the documented defaults.
@@ -57,6 +58,18 @@ type Config struct {
 	// MaxSyncSeqLen bounds the sequence length /v1/query accepts
 	// (default 1<<20); longer inputs must go through a job.
 	MaxSyncSeqLen int
+	// DataDir, when non-empty, enables the disk-backed job store: job
+	// transitions are journaled there and replayed on the next boot
+	// (interrupted jobs are re-executed). Empty keeps everything in
+	// memory.
+	DataDir string
+	// CompactBytes is the journal size that triggers snapshot compaction
+	// (default 4 MiB).
+	CompactBytes int64
+	// RetryBudget and RetryBackoff bound crash-recovery re-executions
+	// (see ManagerConfig).
+	RetryBudget  int
+	RetryBackoff time.Duration
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -84,36 +97,71 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server ties the job manager, cache and metrics behind an http.Handler.
+// Server ties the job manager, store, cache and metrics behind an
+// http.Handler.
 type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
 	mgr     *Manager
+	st      store.Store
 	handler http.Handler
 	started time.Time
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. With Config.DataDir set
+// it opens (or falls back from) the journal and restores recovered jobs
+// before returning, so the handler never serves a partially restored
+// state. An unopenable journal degrades to memory-only instead of failing:
+// the condition is visible on /healthz and /v1/metrics.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := NewCache(cfg.CacheSize)
 	metrics := NewMetrics(nil)
+
+	var st store.Store = store.NewMemory()
+	if cfg.DataDir != "" {
+		wal, err := store.Open(store.Options{
+			Dir:            cfg.DataDir,
+			CompactBytes:   cfg.CompactBytes,
+			RetainTerminal: cfg.Retain,
+			Logger:         cfg.Logger,
+		})
+		if err != nil {
+			cfg.Logger.Warn("job store unavailable; continuing memory-only (jobs will not survive restarts)",
+				"data_dir", cfg.DataDir, "err", err)
+			st = store.NewDegraded(err)
+		} else {
+			st = wal
+		}
+	}
+
 	mgr := NewManager(ManagerConfig{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		JobTimeout: cfg.JobTimeout,
-		Retain:     cfg.Retain,
-		Cache:      cache,
-		Metrics:    metrics,
-		Logger:     cfg.Logger,
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		JobTimeout:   cfg.JobTimeout,
+		Retain:       cfg.Retain,
+		Cache:        cache,
+		Metrics:      metrics,
+		Store:        st,
+		RetryBudget:  cfg.RetryBudget,
+		RetryBackoff: cfg.RetryBackoff,
+		Logger:       cfg.Logger,
 	})
 	metrics.queueFn = mgr.QueueDepth
+	metrics.storeFn = st.Stats
+	if recs := st.Recovered(); len(recs) > 0 {
+		sum := mgr.Restore(recs)
+		cfg.Logger.Info("restored jobs from journal", "data_dir", cfg.DataDir,
+			"terminal", sum.Terminal, "requeued", sum.Requeued,
+			"retry_exhausted", sum.Exhausted, "skipped", sum.Skipped)
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		metrics: metrics,
 		mgr:     mgr,
+		st:      st,
 		started: time.Now(),
 	}
 
@@ -136,8 +184,19 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Manager exposes the job manager (tests and progress streaming hooks).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Shutdown drains the job manager.
-func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+// Store exposes the job store (tests and health probes).
+func (s *Server) Store() store.Store { return s.st }
+
+// Shutdown drains the job manager, then closes the journal (drain-time
+// terminal transitions are journaled first; appends after the close are
+// no-ops).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.mgr.Shutdown(ctx)
+	if cerr := s.st.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // statusWriter captures the response code for logging and metrics.
 type statusWriter struct {
@@ -541,11 +600,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
 }
 
-// handleHealthz implements GET /healthz.
+// handleHealthz implements GET /healthz. A degraded job store (journal
+// given up, jobs no longer durable) keeps the daemon serving but flips the
+// reported status so probes and operators see the condition.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	status := "ok"
+	if st.Degraded {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"version":        s.cfg.Version,
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		"store": map[string]any{
+			"backend":  st.Backend,
+			"degraded": st.Degraded,
+			"reason":   st.DegradedReason,
+		},
 	})
 }

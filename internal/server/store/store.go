@@ -1,0 +1,148 @@
+// Package store persists permined mining jobs across daemon restarts.
+//
+// The job manager journals every job transition through a Store. The
+// disk-backed implementation (WAL) is an append-only, CRC32-framed,
+// fsync-on-write journal with snapshot compaction and a torn-tail-tolerant
+// replay; Memory is the no-op default for fully in-memory deployments.
+//
+// Stores never fail the serving path: implementations absorb disk errors
+// internally (retrying with backoff, then degrading to memory-only) and
+// surface their health through Stats, so a sick disk costs durability, not
+// availability.
+package store
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// JobRecord is the durable form of one mining job: everything needed to
+// answer GET /v1/jobs/{id} after a restart and to re-execute the job if it
+// was interrupted mid-flight. Params and Result are opaque JSON blobs
+// (core.Params / core.Result marshalled by the manager) so the store stays
+// decoupled from the mining vocabulary.
+type JobRecord struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+
+	// SeqName, SeqAlphabet, SeqSymbols and SeqData reconstruct the subject
+	// sequence: the alphabet is matched by name and symbol set (so "DNA"
+	// maps back to the canonical alphabet) or rebuilt from SeqSymbols.
+	SeqName     string `json:"seq_name"`
+	SeqAlphabet string `json:"seq_alphabet"`
+	SeqSymbols  string `json:"seq_symbols"`
+	SeqData     string `json:"seq_data"`
+
+	Params    json.RawMessage `json:"params"`
+	TimeoutMS int64           `json:"timeout_ms"`
+
+	// State is the job lifecycle state (the server package's JobState as a
+	// string). Attempts counts executions started, including crash-recovery
+	// re-executions.
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Note   string          `json:"note,omitempty"`
+}
+
+// Outcome is the terminal portion of a job: state plus whatever the run
+// produced.
+type Outcome struct {
+	State      string
+	Result     json.RawMessage
+	Error      string
+	Note       string
+	FinishedAt time.Time
+}
+
+// Stats is a point-in-time snapshot of a store's health and accounting,
+// exposed via /v1/metrics and (backend/degraded) /healthz.
+type Stats struct {
+	// Backend is "wal" or "memory".
+	Backend string `json:"backend"`
+	// Degraded reports that a disk-backed store gave up on its journal and
+	// is running memory-only (or that persistence could not be opened).
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	JournalBytes int64 `json:"journal_bytes"`
+	Appends      int64 `json:"appends"`
+	Fsyncs       int64 `json:"fsyncs"`
+	WriteErrors  int64 `json:"write_errors"`
+	WriteRetries int64 `json:"write_retries"`
+	Compactions  int64 `json:"compactions"`
+
+	// ReplayedRecords and TruncatedBytes describe the last Open: valid
+	// journal records folded in, and corrupt/torn tail bytes dropped.
+	ReplayedRecords int64 `json:"replayed_records"`
+	TruncatedBytes  int64 `json:"truncated_bytes"`
+}
+
+// Store journals job state for crash recovery. Append methods must not
+// block the serving path on a sick disk: implementations retry briefly,
+// then degrade to memory-only and report the condition through Stats.
+//
+// Callers must finish Recovered-driven restoration before the first
+// AppendSubmit so identifiers cannot collide.
+type Store interface {
+	// Recovered returns the jobs reconstructed from disk when the store was
+	// opened, in submit order. Nil for stores with nothing to recover.
+	Recovered() []JobRecord
+	// AppendSubmit durably records a newly accepted job (which may already
+	// be terminal, e.g. a cache hit).
+	AppendSubmit(rec JobRecord)
+	// AppendState durably records a non-terminal state change.
+	AppendState(id, state string, attempts int, at time.Time)
+	// AppendOutcome durably records a terminal transition.
+	AppendOutcome(id string, out Outcome)
+	// Stats reports health and accounting counters.
+	Stats() Stats
+	// Close releases the journal; subsequent appends are no-ops.
+	Close() error
+}
+
+// Memory is the no-op Store used when persistence is disabled or could not
+// be opened (degraded). It keeps nothing: the manager's own in-memory
+// bookkeeping is the only job state.
+type Memory struct {
+	reason string
+}
+
+// NewMemory returns a healthy no-op store.
+func NewMemory() *Memory { return &Memory{} }
+
+// NewDegraded returns a no-op store that reports itself degraded with the
+// given reason — the fallback when opening a WAL fails at boot.
+func NewDegraded(err error) *Memory {
+	reason := "unknown"
+	if err != nil {
+		reason = err.Error()
+	}
+	return &Memory{reason: reason}
+}
+
+// Recovered implements Store.
+func (m *Memory) Recovered() []JobRecord { return nil }
+
+// AppendSubmit implements Store.
+func (m *Memory) AppendSubmit(JobRecord) {}
+
+// AppendState implements Store.
+func (m *Memory) AppendState(string, string, int, time.Time) {}
+
+// AppendOutcome implements Store.
+func (m *Memory) AppendOutcome(string, Outcome) {}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	return Stats{Backend: "memory", Degraded: m.reason != "", DegradedReason: m.reason}
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,128 @@
+// Package storetest provides a failure-injecting store.FS for exercising
+// the WAL's degradation paths: scripted errors and short writes on the Nth
+// write-class operation, over a real backing filesystem.
+package storetest
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"permine/internal/server/store"
+)
+
+// ErrInjected is the error returned by scripted failures.
+var ErrInjected = errors.New("storetest: injected fault")
+
+// FaultFS wraps the real filesystem and fails write-class operations
+// (Write, Sync, Truncate, OpenFile for writing, Rename) according to a
+// script. Operations are counted process-wide across all files opened
+// through the FS, starting at 1.
+type FaultFS struct {
+	mu  sync.Mutex
+	ops int64
+
+	// FailFrom, when > 0, makes every write-class op numbered >= FailFrom
+	// return ErrInjected (a persistently sick disk).
+	FailFrom int64
+	// FailOps lists individual op numbers that return ErrInjected once
+	// (transient errors).
+	FailOps map[int64]bool
+	// ShortWriteOps lists op numbers at which a Write persists only half
+	// its buffer and then reports ErrInjected (a torn write).
+	ShortWriteOps map[int64]bool
+}
+
+// Ops returns how many write-class operations have been attempted.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// next numbers one write-class operation and reports the scripted fault:
+// fail, or short-write.
+func (f *FaultFS) next() (fail, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.ShortWriteOps[f.ops] {
+		return false, true
+	}
+	if f.FailFrom > 0 && f.ops >= f.FailFrom {
+		return true, false
+	}
+	return f.FailOps[f.ops], false
+}
+
+// MkdirAll implements store.FS (never fails by script: directory setup is
+// not an append-path operation).
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+// OpenFile implements store.FS; opens for writing count as write-class ops.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+		if fail, _ := f.next(); fail {
+			return nil, ErrInjected
+		}
+	}
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// Rename implements store.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fail, _ := f.next(); fail {
+		return ErrInjected
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS (not fault-scripted: it is only used for
+// best-effort cleanup).
+func (f *FaultFS) Remove(name string) error { return os.Remove(name) }
+
+// faultFile applies the owning FS's script to Write, Sync and Truncate.
+type faultFile struct {
+	fs *FaultFS
+	f  *os.File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fail, short := ff.fs.next()
+	if short {
+		n, _ := ff.f.Write(p[:len(p)/2])
+		return n, ErrInjected
+	}
+	if fail {
+		return 0, ErrInjected
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if fail, _ := ff.fs.next(); fail {
+		return ErrInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if fail, _ := ff.fs.next(); fail {
+		return ErrInjected
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

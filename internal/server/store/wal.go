@@ -1,0 +1,523 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal layout: a single append-only file of length-prefixed frames,
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// where the payload is one JSON-encoded event. Replay accepts the longest
+// valid prefix: a torn header, short payload, CRC mismatch or undecodable
+// event ends the scan and the file is truncated back to the last valid
+// frame, so a crash mid-write (or a corrupted tail) costs at most the
+// record being written. Compaction rewrites the journal as a single
+// snapshot event via tmp-file + atomic rename.
+const (
+	journalName = "journal.wal"
+	tmpName     = "journal.wal.tmp"
+
+	frameHeaderSize = 8
+	// maxRecordBytes rejects absurd frame lengths during replay; anything
+	// larger than this is treated as corruption, not a record.
+	maxRecordBytes = 256 << 20
+)
+
+// Event types. State strings inside events mirror the server package's
+// JobState values; the store only distinguishes terminal from not.
+const (
+	evSubmit   = "submit"
+	evState    = "state"
+	evOutcome  = "outcome"
+	evSnapshot = "snapshot"
+)
+
+// event is one journal entry.
+type event struct {
+	Type     string          `json:"t"`
+	At       time.Time       `json:"at"`
+	Job      *JobRecord      `json:"job,omitempty"`  // submit
+	Jobs     []JobRecord     `json:"jobs,omitempty"` // snapshot
+	ID       string          `json:"id,omitempty"`   // state, outcome
+	State    string          `json:"state,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Note     string          `json:"note,omitempty"`
+}
+
+// terminalState mirrors server.JobState.Terminal over the wire strings.
+func terminalState(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+// Options configures a WAL. Zero values take the documented defaults.
+type Options struct {
+	// Dir is the data directory holding the journal (required).
+	Dir string
+	// CompactBytes triggers snapshot compaction once the journal exceeds
+	// this many bytes (default 4 MiB).
+	CompactBytes int64
+	// RetainTerminal bounds terminal job records kept across compactions
+	// (default 1024, matching the manager's retention default); the oldest
+	// terminal records are dropped first.
+	RetainTerminal int
+	// WriteRetries is how many times a failed append is retried before the
+	// store degrades to memory-only (default 3).
+	WriteRetries int
+	// WriteBackoff is the delay before the first append retry, doubling per
+	// retry (default 10ms).
+	WriteBackoff time.Duration
+	// FS defaults to the real filesystem; tests inject faults here.
+	FS FS
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 4 << 20
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 1024
+	}
+	if o.WriteRetries <= 0 {
+		o.WriteRetries = 3
+	}
+	if o.WriteBackoff <= 0 {
+		o.WriteBackoff = 10 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = OSFS
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// WAL is the disk-backed Store: an fsync'd write-ahead journal plus the
+// folded in-memory job state it implies (kept for snapshots/compaction and
+// recovery hand-off). All methods are safe for concurrent use.
+type WAL struct {
+	opts Options
+
+	mu             sync.Mutex
+	f              File  // nil once closed or degraded
+	size           int64 // bytes of valid, synced journal
+	nextCompact    int64
+	degraded       bool
+	degradedReason string
+
+	jobs  map[string]*JobRecord // folded journal state
+	order []string              // submit order of jobs keys
+
+	recovered []JobRecord // snapshot taken at Open, before any appends
+
+	appends, fsyncs, writeErrors, writeRetries, compactions int64
+	replayed, truncatedBytes                                int64
+}
+
+// Open replays (and, if needed, repairs) the journal in dir and returns a
+// ready WAL positioned for appends. A corrupt or torn tail is truncated at
+// the last valid record; only an unusable directory or unreadable journal
+// file is an error — callers are expected to fall back to NewDegraded.
+func Open(opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	// A leftover tmp file means a compaction was interrupted before its
+	// atomic rename; the journal itself is still consistent.
+	_ = opts.FS.Remove(filepath.Join(opts.Dir, tmpName))
+
+	f, err := opts.FS.OpenFile(filepath.Join(opts.Dir, journalName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	w := &WAL{opts: opts, f: f, jobs: make(map[string]*JobRecord)}
+	if err := w.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.nextCompact = w.size + opts.CompactBytes
+	w.recovered = w.snapshotLocked()
+	if w.truncatedBytes > 0 {
+		opts.Logger.Warn("journal tail truncated at last valid record",
+			"dir", opts.Dir, "dropped_bytes", w.truncatedBytes, "records", w.replayed)
+	}
+	return w, nil
+}
+
+// replay folds the longest valid frame prefix into w.jobs and truncates
+// the file after it. Called once from Open, before w escapes.
+func (w *WAL) replay() error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking journal: %w", err)
+	}
+	r := bufio.NewReader(w.f)
+	var good int64
+	for {
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // clean EOF or torn header: stop at last good frame
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var ev event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			break
+		}
+		w.applyLocked(ev)
+		good += frameHeaderSize + int64(n)
+		w.replayed++
+	}
+	end, err := w.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: sizing journal: %w", err)
+	}
+	if end > good {
+		w.truncatedBytes = end - good
+		if err := w.f.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncating corrupt journal tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking journal end: %w", err)
+	}
+	w.size = good
+	return nil
+}
+
+// applyLocked folds one event into the jobs map. Out-of-order events from
+// narrow submit/execute races are tolerated: state changes for unknown or
+// already-terminal jobs are ignored, so a terminal outcome can never be
+// rolled back by a late "running" append.
+func (w *WAL) applyLocked(ev event) {
+	switch ev.Type {
+	case evSnapshot:
+		w.jobs = make(map[string]*JobRecord, len(ev.Jobs))
+		w.order = w.order[:0]
+		for i := range ev.Jobs {
+			rec := ev.Jobs[i]
+			if _, ok := w.jobs[rec.ID]; ok {
+				continue
+			}
+			w.jobs[rec.ID] = &rec
+			w.order = append(w.order, rec.ID)
+		}
+	case evSubmit:
+		if ev.Job == nil {
+			return
+		}
+		rec := *ev.Job
+		if _, ok := w.jobs[rec.ID]; ok {
+			return
+		}
+		w.jobs[rec.ID] = &rec
+		w.order = append(w.order, rec.ID)
+	case evState:
+		rec, ok := w.jobs[ev.ID]
+		if !ok || terminalState(rec.State) {
+			return
+		}
+		rec.State = ev.State
+		if ev.Attempts > 0 {
+			rec.Attempts = ev.Attempts
+		}
+		if ev.State == "running" && rec.StartedAt.IsZero() {
+			rec.StartedAt = ev.At
+		}
+	case evOutcome:
+		rec, ok := w.jobs[ev.ID]
+		if !ok || terminalState(rec.State) {
+			return
+		}
+		rec.State = ev.State
+		rec.FinishedAt = ev.At
+		rec.Result = ev.Result
+		rec.Error = ev.Error
+		rec.Note = ev.Note
+	}
+}
+
+// snapshotLocked copies the folded state in submit order.
+func (w *WAL) snapshotLocked() []JobRecord {
+	out := make([]JobRecord, 0, len(w.jobs))
+	for _, id := range w.order {
+		if rec, ok := w.jobs[id]; ok {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// Recovered implements Store.
+func (w *WAL) Recovered() []JobRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]JobRecord(nil), w.recovered...)
+}
+
+// AppendSubmit implements Store.
+func (w *WAL) AppendSubmit(rec JobRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(event{Type: evSubmit, At: rec.CreatedAt, Job: &rec})
+}
+
+// AppendState implements Store.
+func (w *WAL) AppendState(id, state string, attempts int, at time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(event{Type: evState, At: at, ID: id, State: state, Attempts: attempts})
+}
+
+// AppendOutcome implements Store.
+func (w *WAL) AppendOutcome(id string, out Outcome) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(event{
+		Type: evOutcome, At: out.FinishedAt, ID: id, State: out.State,
+		Result: out.Result, Error: out.Error, Note: out.Note,
+	})
+}
+
+// appendLocked folds the event into memory, then journals it with retries;
+// persistent write failure degrades the store instead of surfacing an
+// error (memory state stays authoritative for the running process).
+func (w *WAL) appendLocked(ev event) {
+	w.applyLocked(ev)
+	if w.f == nil {
+		return // closed or degraded: memory-only
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		// Records are built from plain structs; this cannot happen outside
+		// programmer error, but a journal must never take down the daemon.
+		w.degradeLocked(fmt.Errorf("marshalling event: %w", err))
+		return
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+
+	backoff := w.opts.WriteBackoff
+	for attempt := 0; ; attempt++ {
+		err = w.writeFrameLocked(frame)
+		if err == nil {
+			break
+		}
+		w.writeErrors++
+		// Rewind any partial write so a retry cannot interleave torn bytes
+		// with a fresh frame; if even that fails the journal is unusable.
+		if terr := w.rewindLocked(); terr != nil {
+			w.degradeLocked(fmt.Errorf("append failed (%v) and rewind failed: %w", err, terr))
+			return
+		}
+		if attempt >= w.opts.WriteRetries {
+			w.degradeLocked(fmt.Errorf("append failed after %d retries: %w", w.opts.WriteRetries, err))
+			return
+		}
+		w.writeRetries++
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	w.size += int64(len(frame))
+	w.appends++
+	if w.size >= w.nextCompact {
+		w.compactLocked()
+	}
+}
+
+// writeFrameLocked appends one frame and syncs it to stable storage.
+func (w *WAL) writeFrameLocked(frame []byte) error {
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs++
+	return nil
+}
+
+// rewindLocked discards any partially written bytes past the last synced
+// frame.
+func (w *WAL) rewindLocked() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(w.size, io.SeekStart)
+	return err
+}
+
+// degradeLocked flips the store into memory-only mode: the journal handle
+// is dropped and every later append is a cheap no-op. The condition is
+// surfaced via Stats (and from there /healthz, /v1/metrics) and the log.
+func (w *WAL) degradeLocked(cause error) {
+	if w.degraded {
+		return
+	}
+	w.degraded = true
+	w.degradedReason = cause.Error()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.opts.Logger.Warn("job store degraded to memory-only; jobs will not survive a restart",
+		"dir", w.opts.Dir, "cause", cause)
+}
+
+// compactLocked rewrites the journal as one snapshot frame (tmp file +
+// atomic rename), pruning the oldest terminal records beyond
+// RetainTerminal. On failure the current journal keeps growing and the
+// next attempt is pushed a full CompactBytes out.
+func (w *WAL) compactLocked() {
+	w.pruneLocked()
+	snap := event{Type: evSnapshot, At: time.Now(), Jobs: w.snapshotLocked()}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		w.degradeLocked(fmt.Errorf("marshalling snapshot: %w", err))
+		return
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+
+	tmpPath := filepath.Join(w.opts.Dir, tmpName)
+	journalPath := filepath.Join(w.opts.Dir, journalName)
+	err = func() error {
+		tmp, err := w.opts.FS.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return w.opts.FS.Rename(tmpPath, journalPath)
+	}()
+	if err != nil {
+		w.writeErrors++
+		w.nextCompact = w.size + w.opts.CompactBytes
+		w.opts.Logger.Warn("journal compaction failed; continuing on the uncompacted journal",
+			"dir", w.opts.Dir, "err", err)
+		_ = w.opts.FS.Remove(tmpPath)
+		return
+	}
+	// The old handle now points at an unlinked inode; reopen the compacted
+	// journal for appends.
+	w.f.Close()
+	f, err := w.opts.FS.OpenFile(journalPath, os.O_RDWR, 0o644)
+	if err != nil {
+		w.f = nil
+		w.degradeLocked(fmt.Errorf("reopening compacted journal: %w", err))
+		return
+	}
+	if _, err := f.Seek(int64(len(frame)), io.SeekStart); err != nil {
+		w.f = nil
+		f.Close()
+		w.degradeLocked(fmt.Errorf("seeking compacted journal: %w", err))
+		return
+	}
+	w.f = f
+	w.size = int64(len(frame))
+	w.nextCompact = w.size + w.opts.CompactBytes
+	w.compactions++
+	w.opts.Logger.Info("journal compacted", "dir", w.opts.Dir,
+		"bytes", w.size, "jobs", len(w.jobs))
+}
+
+// pruneLocked drops the oldest terminal records beyond RetainTerminal.
+// Non-terminal records are always kept: they are the recovery set.
+func (w *WAL) pruneLocked() {
+	terminal := 0
+	for _, rec := range w.jobs {
+		if terminalState(rec.State) {
+			terminal++
+		}
+	}
+	if terminal <= w.opts.RetainTerminal {
+		return
+	}
+	kept := w.order[:0]
+	for _, id := range w.order {
+		rec, ok := w.jobs[id]
+		if !ok {
+			continue
+		}
+		if terminal > w.opts.RetainTerminal && terminalState(rec.State) {
+			delete(w.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	w.order = kept
+}
+
+// Stats implements Store.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Backend:         "wal",
+		Degraded:        w.degraded,
+		DegradedReason:  w.degradedReason,
+		JournalBytes:    w.size,
+		Appends:         w.appends,
+		Fsyncs:          w.fsyncs,
+		WriteErrors:     w.writeErrors,
+		WriteRetries:    w.writeRetries,
+		Compactions:     w.compactions,
+		ReplayedRecords: w.replayed,
+		TruncatedBytes:  w.truncatedBytes,
+	}
+}
+
+// Close implements Store. Appends after Close are silent no-ops (the
+// drain path may still be finishing jobs while the daemon exits).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

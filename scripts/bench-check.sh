@@ -2,11 +2,13 @@
 # Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail on
 # per-benchmark ns/op regressions above BENCH_MAX_REGRESSION_PCT (default 5).
 #
-# A missing baseline or missing latest run is a skip, not a failure, so
-# fresh checkouts pass `make check` without a mandatory benchmark run.
-# Benchmarks present on only one side are reported but never fatal (the set
-# evolves); only a matched benchmark that slowed down beyond the threshold
-# fails the check.
+# A missing latest run is a skip, not a failure, so fresh checkouts pass
+# `make check` without a mandatory benchmark run. A missing baseline is an
+# error — the repo commits one, so its absence means a broken checkout —
+# and so is a present-but-empty result file (an interrupted run), rather
+# than silently comparing against garbage. Benchmarks present on only one
+# side are reported but never fatal (the set evolves); only a matched
+# benchmark that slowed down beyond the threshold fails the check.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,13 +16,24 @@ cd "$(dirname "$0")/.."
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 
 if [ ! -f benchmarks/baseline.txt ]; then
-    echo "bench-check: no benchmarks/baseline.txt; skipping (run scripts/bench-update.sh to create one)" >&2
-    exit 0
+    echo "bench-check: benchmarks/baseline.txt is missing — it is committed with the repo," >&2
+    echo "bench-check: so this checkout is incomplete (restore it, or re-promote one with scripts/bench-update.sh)" >&2
+    exit 1
 fi
 if [ ! -f benchmarks/latest.txt ]; then
     echo "bench-check: no benchmarks/latest.txt; skipping (run scripts/bench.sh to record a run)" >&2
     exit 0
 fi
+
+# Both files must contain at least one parseable benchmark line; anything
+# else is a truncated or corrupt file, not a comparable run.
+for f in benchmarks/baseline.txt benchmarks/latest.txt; do
+    if ! grep -q '^Benchmark.* ns/op' "$f"; then
+        echo "bench-check: $f contains no 'Benchmark... ns/op' lines (interrupted or corrupt run)" >&2
+        echo "bench-check: re-record it with scripts/bench.sh before comparing" >&2
+        exit 1
+    fi
+done
 
 awk -v max_pct="$MAX_PCT" '
     # Benchmark lines look like:

@@ -24,7 +24,21 @@ BENCH_TIME="${BENCH_TIME:-300ms}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 
 mkdir -p benchmarks
+
+# Write to a temp file and rename at the end: an interrupted or failed run
+# must never leave a partial benchmarks/latest.txt for bench-check to
+# compare against.
+tmp="benchmarks/.latest.txt.tmp"
+trap 'rm -f "$tmp"' EXIT INT TERM
+
 echo "running benchmarks: -bench '${BENCH_PATTERN}' ${BENCH_PKGS}" >&2
 go test -run '^$' -bench "${BENCH_PATTERN}" -benchtime "${BENCH_TIME}" \
-    -count "${BENCH_COUNT}" -benchmem ${BENCH_PKGS} | tee benchmarks/latest.txt
+    -count "${BENCH_COUNT}" -benchmem ${BENCH_PKGS} | tee "$tmp"
+
+if ! grep -q '^Benchmark.* ns/op' "$tmp"; then
+    echo "bench.sh: run produced no benchmark results; keeping previous benchmarks/latest.txt" >&2
+    exit 1
+fi
+mv "$tmp" benchmarks/latest.txt
+trap - EXIT INT TERM
 echo "wrote benchmarks/latest.txt" >&2
