@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/async/ ./internal/mine/ ./internal/server/... ./internal/pil/ ./internal/embound/
+	$(GO) test -race ./internal/async/ ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
 
 # The full pre-merge gate: build, vet, tests, and the race detector over
 # the concurrent packages.

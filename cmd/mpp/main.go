@@ -50,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxPrint = fs.Int("top", 40, "print at most this many patterns (0 = all)")
 		query    = fs.String("pattern", "", "query mode: report support and first occurrences of this pattern (paper notation, e.g. 'A..Tg(9,12)C') instead of mining")
 		asJSON   = fs.Bool("json", false, "emit results as JSON (one object per subject sequence)")
+		lvlOut   = fs.String("level-metrics", "", "write per-level metrics (the paper's Table 3 data) as JSON to this file ('-' = stdout)")
 		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +129,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var levelDumps []levelDump
 	for _, s := range subjects {
 		res, err := mineOne(ctx, s, *algo, params)
 		if errors.Is(err, permine.ErrBudgetExceeded) {
@@ -136,6 +138,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintln(stdout, "note: enumeration candidate budget exhausted; results below cover completed levels only")
 		} else if err != nil {
 			return err
+		}
+		if *lvlOut != "" {
+			levelDumps = append(levelDumps, levelDump{
+				Sequence:    res.SeqName,
+				SequenceLen: res.SeqLen,
+				Algorithm:   res.Algorithm.String(),
+				GapMin:      res.Params.Gap.N,
+				GapMax:      res.Params.Gap.M,
+				MinSupport:  res.Params.MinSupport,
+				N:           res.N,
+				Levels:      res.Levels,
+			})
 		}
 		if *asJSON {
 			enc := json.NewEncoder(stdout)
@@ -147,11 +161,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, res.Summary())
 		if *verbose {
-			fmt.Fprintf(stdout, "%-6s %-12s %-10s %-10s %-9s %-12s\n",
-				"level", "candidates", "frequent", "kept", "lambda", "elapsed")
+			fmt.Fprintf(stdout, "%-6s %-12s %-10s %-10s %-9s %-9s %-9s %-12s\n",
+				"level", "candidates", "frequent", "kept", "pruned", "zerosup", "lambda", "elapsed")
 			for _, lv := range res.Levels {
-				fmt.Fprintf(stdout, "%-6d %-12d %-10d %-10d %-9.4f %-12v\n",
-					lv.Level, lv.Candidates, lv.Frequent, lv.Kept, lv.Lambda, lv.Elapsed.Round(time.Microsecond))
+				fmt.Fprintf(stdout, "%-6d %-12d %-10d %-10d %-9d %-9d %-9.4f %-12v\n",
+					lv.Level, lv.Candidates, lv.Frequent, lv.Kept, lv.PrunedByLambda,
+					lv.ZeroSupport, lv.Lambda, lv.Elapsed.Round(time.Microsecond))
 			}
 		}
 		limit := *maxPrint
@@ -168,7 +183,42 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  ... and %d more (raise -top)\n", len(res.Patterns)-limit)
 		}
 	}
+	if *lvlOut != "" {
+		if err := writeLevelMetrics(*lvlOut, stdout, levelDumps); err != nil {
+			return fmt.Errorf("writing level metrics: %w", err)
+		}
+	}
 	return nil
+}
+
+// levelDump is one subject's per-level metrics for -level-metrics: the
+// run identity plus the raw LevelMetrics rows (the paper's Table 3).
+type levelDump struct {
+	Sequence    string                 `json:"sequence"`
+	SequenceLen int                    `json:"sequence_len"`
+	Algorithm   string                 `json:"algorithm"`
+	GapMin      int                    `json:"gap_min"`
+	GapMax      int                    `json:"gap_max"`
+	MinSupport  float64                `json:"min_support"`
+	N           int                    `json:"n"`
+	Levels      []permine.LevelMetrics `json:"levels"`
+}
+
+// writeLevelMetrics dumps the collected per-level metrics as indented
+// JSON to path ("-" writes to stdout).
+func writeLevelMetrics(path string, stdout io.Writer, dumps []levelDump) error {
+	w := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dumps)
 }
 
 func mineOne(ctx context.Context, s *permine.Sequence, algo string, p permine.Params) (*permine.Result, error) {

@@ -128,3 +128,46 @@ func TestRunJSON(t *testing.T) {
 		t.Errorf("decoded = %+v", decoded)
 	}
 }
+
+func TestRunLevelMetricsDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "levels.json")
+	var out bytes.Buffer
+	err := run([]string{"-demo", "-demolen", "400", "-support", "0.01", "-algo", "mpp",
+		"-level-metrics", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []levelDump
+	if err := json.Unmarshal(raw, &dumps); err != nil {
+		t.Fatalf("decoding level metrics dump: %v", err)
+	}
+	if len(dumps) != 1 {
+		t.Fatalf("dump holds %d subjects, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Algorithm != "MPP" || d.SequenceLen != 400 || len(d.Levels) == 0 {
+		t.Fatalf("dump = %+v", d)
+	}
+	for _, lv := range d.Levels {
+		if lv.ZeroSupport+lv.PrunedByLambda+lv.Kept != lv.Candidates {
+			t.Errorf("level %d: candidate accounting broken in dump: %+v", lv.Level, lv)
+		}
+	}
+}
+
+func TestRunLevelMetricsToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-demo", "-demolen", "300", "-support", "0.05",
+		"-level-metrics", "-", "-top", "0"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"levels"`) {
+		t.Errorf("stdout dump missing levels array:\n%s", out.String())
+	}
+}

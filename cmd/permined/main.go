@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +59,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		retryBudget  = fs.Int("retry-budget", 3, "re-executions allowed for a job interrupted by crashes")
 		retryBackoff = fs.Duration("retry-backoff", 500*time.Millisecond, "delay before a recovered job re-runs (doubles per attempt)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
+		traceSpans   = fs.Int("trace-spans", 0, "finished tracing spans kept for /v1/traces (0 = default 4096)")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		version      = fs.Bool("version", false, "print version and exit")
 	)
@@ -89,6 +92,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		CompactBytes:  *compactBytes,
 		RetryBudget:   *retryBudget,
 		RetryBackoff:  *retryBackoff,
+		TraceSpans:    *traceSpans,
 		Logger:        logger,
 	})
 
@@ -101,6 +105,31 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// pprof serves on its own listener so profiling never shares the API
+	// port (and can be bound to localhost while the API is public). The
+	// handlers are registered on a private mux — importing net/http/pprof
+	// touches only http.DefaultServeMux, which the API server never uses.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pprofSrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		defer pprofSrv.Close()
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

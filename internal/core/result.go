@@ -42,7 +42,10 @@ func (p Pattern) String() string {
 }
 
 // LevelMetrics records what happened at one level (pattern length) of a
-// level-wise mining run. It is the raw material of the paper's Table 3.
+// level-wise mining run. It is the raw material of the paper's Table 3:
+// where the candidates went (kept, pruned by λ, zero support), how much
+// physical counting work the level cost, and how the time split between
+// candidate generation and support counting.
 type LevelMetrics struct {
 	// Level is the pattern length i.
 	Level int
@@ -53,10 +56,27 @@ type LevelMetrics struct {
 	// Kept is |L̂i|: candidates meeting λ(n,n−i)·ρs·Ni and carried into
 	// candidate generation for the next level.
 	Kept int64
+	// PrunedByLambda counts candidates whose support was non-zero but fell
+	// below λ(n,n−i)·ρs·Ni, so the λ pruning of Theorem 1 dropped them
+	// from L̂i. Candidates == ZeroSupport + PrunedByLambda + Kept.
+	PrunedByLambda int64
+	// ZeroSupport counts generated candidates whose PIL join produced no
+	// offset sequence at all (dead on arrival, no threshold needed).
+	ZeroSupport int64
+	// PILJoins is the number of PIL merge joins performed to count this
+	// level's candidates (0 for the direct-scan seed level).
+	PILJoins int64
+	// PILEntries is the total number of PIL entries scanned by those
+	// joins (prefix plus suffix list lengths): the offset-window scan
+	// work the support counting physically did.
+	PILEntries int64
 	// Lambda is the pruning factor λ(n, n−i) applied at this level.
 	Lambda float64
-	// Elapsed is wall-clock time spent on this level.
-	Elapsed time.Duration
+	// Elapsed is wall-clock time spent on this level; GenElapsed and
+	// CountElapsed split out candidate generation vs support counting.
+	Elapsed      time.Duration
+	GenElapsed   time.Duration
+	CountElapsed time.Duration
 }
 
 // Result is the outcome of a mining run.

@@ -80,7 +80,7 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	}
 	nonzero := startPILs
 	r := &runner{s: s, p: p, counter: counter, n: counter.L2(), res: res}
-	recordEnumLevel(r, i, sigmaPow(i), nonzero)
+	recordEnumLevel(r, i, sigmaPow(i), nonzero, levelStats{})
 
 	for len(nonzero) > 0 {
 		next := i + 1
@@ -94,6 +94,7 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 			return finish(true)
 		}
 		levelStart := time.Now()
+		var st levelStats
 		nextPILs := make(map[string]pil.List)
 		// Extend every non-zero pattern by every symbol; the
 		// candidate's PIL joins prefix (the pattern) with suffix
@@ -114,13 +115,16 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 					continue
 				}
 				cand := p1 + string(s.Alphabet().Symbol(c))
+				st.joins++
+				st.entries += int64(len(nonzero[p1]) + len(sufList))
 				list := pil.Join(nonzero[p1], sufList, p.Gap)
 				if len(list) > 0 {
 					nextPILs[cand] = list
 				}
 			}
 		}
-		recordEnumLevel(r, next, sigmaPow(next), nextPILs)
+		st.count = time.Since(levelStart)
+		recordEnumLevel(r, next, sigmaPow(next), nextPILs, st)
 		res.Levels[len(res.Levels)-1].Elapsed += time.Since(levelStart)
 		nonzero = nextPILs
 		i = next
@@ -131,7 +135,7 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 // recordEnumLevel records metrics and frequent patterns for one
 // enumeration level. Candidates is the analytic |Σ|^i charge (saturated to
 // int64 range).
-func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List) {
+func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List, st levelStats) {
 	nl := r.counter.NlFloat(i)
 	thFreq := r.p.MinSupport * nl
 	var frequent int64
@@ -155,12 +159,20 @@ func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List
 	if charge.IsInt64() {
 		cand = charge.Int64()
 	}
+	zero := cand - int64(len(pils))
+	if zero < 0 {
+		zero = 0 // saturated charge
+	}
 	lm := core.LevelMetrics{
-		Level:      i,
-		Candidates: cand,
-		Frequent:   frequent,
-		Kept:       int64(len(pils)),
-		Lambda:     0,
+		Level:        i,
+		Candidates:   cand,
+		Frequent:     frequent,
+		Kept:         int64(len(pils)),
+		ZeroSupport:  zero,
+		PILJoins:     st.joins,
+		PILEntries:   st.entries,
+		Lambda:       0,
+		CountElapsed: st.count,
 	}
 	r.res.Levels = append(r.res.Levels, lm)
 	r.p.ReportLevel(lm)

@@ -14,6 +14,7 @@ import (
 
 	"permine/internal/combinat"
 	"permine/internal/core"
+	"permine/internal/obs"
 	"permine/internal/pil"
 	"permine/internal/seq"
 )
@@ -76,6 +77,34 @@ type patternEntry struct {
 	sup   int64
 }
 
+// levelStats accumulates the physical counting work of one level, feeding
+// the telemetry fields of core.LevelMetrics.
+type levelStats struct {
+	joins   int64 // PIL merge joins performed
+	entries int64 // PIL entries scanned by those joins
+	gen     time.Duration
+	count   time.Duration
+}
+
+// annotateLevelSpan attaches one level's metrics to its tracing span so a
+// trace of a mining job carries the paper's Table 3 live.
+func annotateLevelSpan(span *obs.Span, lm core.LevelMetrics) {
+	if span == nil {
+		return
+	}
+	span.SetAttr("level", lm.Level)
+	span.SetAttr("candidates", lm.Candidates)
+	span.SetAttr("frequent", lm.Frequent)
+	span.SetAttr("kept", lm.Kept)
+	span.SetAttr("pruned_by_lambda", lm.PrunedByLambda)
+	span.SetAttr("zero_support", lm.ZeroSupport)
+	span.SetAttr("pil_joins", lm.PILJoins)
+	span.SetAttr("pil_entries", lm.PILEntries)
+	span.SetAttr("lambda", lm.Lambda)
+	span.SetAttr("gen_ms", float64(lm.GenElapsed)/float64(time.Millisecond))
+	span.SetAttr("count_ms", float64(lm.CountElapsed)/float64(time.Millisecond))
+}
+
 // run executes the level loop starting from the given start-level PILs
 // (pattern chars -> PIL, zero-support patterns absent). It fills
 // r.res.Patterns and r.res.Levels.
@@ -96,7 +125,10 @@ func (r *runner) run(startPILs map[string]pil.List) {
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].chars < entries[b].chars })
 
-	hat := r.collectLevel(i, candCount, entries)
+	_, seedSpan := obs.Start(ctx, "mine.level")
+	hat := r.collectLevel(i, candCount, entries, levelStats{})
+	annotateLevelSpan(seedSpan, r.res.Levels[len(r.res.Levels)-1])
+	seedSpan.End()
 
 	for len(hat) > 0 {
 		next := i + 1
@@ -111,14 +143,24 @@ func (r *runner) run(startPILs map[string]pil.List) {
 			r.err = err
 			break
 		}
+		lctx, span := obs.Start(ctx, "mine.level")
 		levelStart := time.Now()
+		var st levelStats
 		cands := gen(hat)
-		counted := r.countCandidates(ctx, next, hat, cands)
+		st.gen = time.Since(levelStart)
+		countStart := time.Now()
+		counted := r.countCandidates(lctx, next, hat, cands, &st)
+		st.count = time.Since(countStart)
 		if r.err != nil {
+			span.SetAttr("level", next)
+			span.RecordError(r.err)
+			span.End()
 			break
 		}
-		kept := r.collectLevel(next, int64(len(cands)), counted)
+		kept := r.collectLevel(next, int64(len(cands)), counted, st)
 		r.res.Levels[len(r.res.Levels)-1].Elapsed += time.Since(levelStart)
+		annotateLevelSpan(span, r.res.Levels[len(r.res.Levels)-1])
+		span.End()
 		hat = kept
 		i = next
 	}
@@ -126,8 +168,9 @@ func (r *runner) run(startPILs map[string]pil.List) {
 
 // collectLevel applies the Li / L̂i thresholds to the counted entries of
 // level i, records metrics and frequent patterns, and returns L̂i as a map
-// for candidate generation.
-func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry) map[string]pil.List {
+// for candidate generation. entries holds only non-zero-support
+// candidates; the gap to candidates is the level's zero-support count.
+func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry, st levelStats) map[string]pil.List {
 	start := time.Now()
 	nl := r.counter.NlFloat(i)
 	lam := r.lambda(i)
@@ -150,13 +193,23 @@ func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry) m
 			hat[e.chars] = e.list
 		}
 	}
+	zero := candidates - int64(len(entries))
+	if zero < 0 {
+		zero = 0 // analytic candidate counts can saturate below the entry count
+	}
 	lm := core.LevelMetrics{
-		Level:      i,
-		Candidates: candidates,
-		Frequent:   frequent,
-		Kept:       kept,
-		Lambda:     lam,
-		Elapsed:    time.Since(start),
+		Level:          i,
+		Candidates:     candidates,
+		Frequent:       frequent,
+		Kept:           kept,
+		PrunedByLambda: int64(len(entries)) - kept,
+		ZeroSupport:    zero,
+		PILJoins:       st.joins,
+		PILEntries:     st.entries,
+		Lambda:         lam,
+		Elapsed:        time.Since(start),
+		GenElapsed:     st.gen,
+		CountElapsed:   st.count,
 	}
 	r.res.Levels = append(r.res.Levels, lm)
 	r.p.ReportLevel(lm)
@@ -196,15 +249,22 @@ func gen(hat map[string]pil.List) []candidate {
 // countCandidates computes the PIL and support of every candidate by
 // joining the parents' PILs, optionally fanning out over Params.Workers
 // goroutines. Entries with zero support are dropped; order follows cands.
+// The join and entry-scan counts are accumulated into st.
 //
 // The context is checked every cancelBatch candidates (in every worker);
 // on cancellation counting stops early, r.err is set to a typed
 // core.CancelledError and nil is returned — partial counts are never
 // reported as results.
-func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]pil.List, cands []candidate) []patternEntry {
+func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]pil.List, cands []candidate, st *levelStats) []patternEntry {
 	results := make([]patternEntry, len(cands))
 	var stop atomic.Bool
+	var joins, entries atomic.Int64
 	work := func(from, to int) {
+		var nJoins, nEntries int64
+		defer func() {
+			joins.Add(nJoins)
+			entries.Add(nEntries)
+		}()
 		for idx := from; idx < to; idx++ {
 			if idx%cancelBatch == 0 {
 				if stop.Load() {
@@ -216,7 +276,10 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]
 				}
 			}
 			c := cands[idx]
-			list := pil.Join(hat[c.prefix], hat[c.suffix], r.p.Gap)
+			prefix, suffix := hat[c.prefix], hat[c.suffix]
+			nJoins++
+			nEntries += int64(len(prefix) + len(suffix))
+			list := pil.Join(prefix, suffix, r.p.Gap)
 			results[idx] = patternEntry{chars: c.chars, list: list, sup: list.Support()}
 		}
 	}
@@ -238,6 +301,8 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]
 		}
 		wg.Wait()
 	}
+	st.joins += joins.Load()
+	st.entries += entries.Load()
 	if err := ctx.Err(); err != nil {
 		r.err = r.cancelled(level, err)
 		return nil

@@ -1,0 +1,120 @@
+package mine_test
+
+import (
+	"errors"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/gen"
+	"permine/internal/mine"
+)
+
+// TestLevelMetricsAccounting checks the per-level telemetry invariants on
+// a real MPP run: every generated candidate is accounted for exactly once
+// (zero-support + λ-pruned + kept), the physical join counters match the
+// candidate counts, and the λ factor stays in its theoretical range.
+func TestLevelMetricsAccounting(t *testing.T) {
+	s, err := gen.GenomeLike(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mine.MPP(s, core.Params{Gap: combinat.Gap{N: 2, M: 4}, MinSupport: 0.0005, MaxLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) < 2 {
+		t.Fatalf("only %d levels; the regime should mine several", len(res.Levels))
+	}
+	for i, lv := range res.Levels {
+		if got := lv.ZeroSupport + lv.PrunedByLambda + lv.Kept; got != lv.Candidates {
+			t.Errorf("level %d: zero(%d) + pruned(%d) + kept(%d) = %d, want candidates %d",
+				lv.Level, lv.ZeroSupport, lv.PrunedByLambda, lv.Kept, got, lv.Candidates)
+		}
+		if lv.Frequent > lv.Kept {
+			t.Errorf("level %d: frequent %d > kept %d (L̂i must contain Li)", lv.Level, lv.Frequent, lv.Kept)
+		}
+		if lv.Lambda <= 0 || lv.Lambda > 1 {
+			t.Errorf("level %d: λ = %v outside (0, 1]", lv.Level, lv.Lambda)
+		}
+		if i == 0 {
+			// The seed level is built by direct scan, not PIL joins.
+			if lv.PILJoins != 0 || lv.PILEntries != 0 {
+				t.Errorf("seed level reports %d joins / %d entries, want 0", lv.PILJoins, lv.PILEntries)
+			}
+			continue
+		}
+		// Every generated candidate costs exactly one merge join.
+		if lv.PILJoins != lv.Candidates {
+			t.Errorf("level %d: %d joins for %d candidates", lv.Level, lv.PILJoins, lv.Candidates)
+		}
+		if lv.Candidates > 0 && lv.PILEntries == 0 {
+			t.Errorf("level %d: candidates counted but no PIL entries scanned", lv.Level)
+		}
+		if lv.GenElapsed < 0 || lv.CountElapsed < 0 {
+			t.Errorf("level %d: negative phase timing gen=%v count=%v", lv.Level, lv.GenElapsed, lv.CountElapsed)
+		}
+	}
+}
+
+// TestLevelMetricsParallelMatchesSerial checks the atomically-accumulated
+// join counters are worker-count independent.
+func TestLevelMetricsParallelMatchesSerial(t *testing.T) {
+	s, err := gen.GenomeLike(600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Params{Gap: combinat.Gap{N: 2, M: 4}, MinSupport: 0.0005, MaxLen: 5}
+	serial, err := mine.MPP(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	parallel, err := mine.MPP(s, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Levels) != len(parallel.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(serial.Levels), len(parallel.Levels))
+	}
+	for i := range serial.Levels {
+		a, b := serial.Levels[i], parallel.Levels[i]
+		if a.PILJoins != b.PILJoins || a.PILEntries != b.PILEntries ||
+			a.PrunedByLambda != b.PrunedByLambda || a.ZeroSupport != b.ZeroSupport {
+			t.Errorf("level %d counters differ between 1 and 4 workers: %+v vs %+v", a.Level, a, b)
+		}
+	}
+}
+
+// TestEnumerateLevelMetrics checks the baseline's accounting: no λ
+// pruning ever, and the analytic |Σ|^i charge splits into kept + zero.
+func TestEnumerateLevelMetrics(t *testing.T) {
+	s, err := gen.GenomeLike(300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline is exponential by design; a bounded budget truncates
+	// the run and the completed levels keep valid metrics.
+	res, err := mine.Enumerate(s, core.Params{
+		Gap: combinat.Gap{N: 2, M: 4}, MinSupport: 0.0005, CandidateBudget: 1 << 16,
+	})
+	if err != nil && !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	if len(res.Levels) == 0 {
+		t.Fatal("no completed levels")
+	}
+	for i, lv := range res.Levels {
+		if lv.PrunedByLambda != 0 {
+			t.Errorf("level %d: enumeration reports λ pruning (%d)", lv.Level, lv.PrunedByLambda)
+		}
+		if lv.ZeroSupport+lv.Kept != lv.Candidates {
+			t.Errorf("level %d: zero(%d) + kept(%d) != candidates(%d)",
+				lv.Level, lv.ZeroSupport, lv.Kept, lv.Candidates)
+		}
+		if i > 0 && lv.Kept > 0 && lv.PILJoins == 0 {
+			t.Errorf("level %d: kept %d patterns with no joins recorded", lv.Level, lv.Kept)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package obs is the stdlib-only observability layer shared by the
+// miners and the permined daemon: lightweight tracing spans (trace id,
+// span id, parent link, attributes, events) with pluggable exporters,
+// context propagation across goroutines, and a Prometheus text-format
+// writer for metric exposition.
+//
+// Two exporters ship with the package: SlogExporter emits one structured
+// log record per finished span (correlated by trace_id), and Ring keeps a
+// bounded in-memory buffer of finished spans that the daemon serves at
+// GET /v1/traces and GET /v1/traces/{id}.
+//
+// Everything is nil-safe: a nil *Tracer produces nil *Span values, and
+// every Span method no-ops on nil, so instrumented code (internal/mine's
+// per-level spans, the job manager's submit→queue→run→persist chain)
+// never checks whether tracing is configured.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values must be
+// JSON-marshalable (the daemon serves spans as JSON).
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one timestamped annotation inside a span.
+type Event struct {
+	Time  time.Time `json:"time"`
+	Msg   string    `json:"msg"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// SpanContext identifies a span for cross-goroutine linking: the job
+// manager stores the submit span's context on the job and starts the run
+// span against it from a worker goroutine.
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// SpanData is the immutable snapshot of a finished span handed to
+// exporters and served by the trace endpoints.
+type SpanData struct {
+	TraceID    string    `json:"trace_id"`
+	SpanID     string    `json:"span_id"`
+	ParentID   string    `json:"parent_id,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end"`
+	DurationMS float64   `json:"duration_ms"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+	Events     []Event   `json:"events,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use; ExportSpan must not block for long (it runs on the
+// instrumented goroutine).
+type Exporter interface {
+	ExportSpan(sd SpanData)
+}
+
+// NewTraceID returns a fresh 16-byte hex trace identifier.
+func NewTraceID() string { return randomHex(16) }
+
+// newSpanID returns a fresh 8-byte hex span identifier.
+func newSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero id keeps
+		// tracing best-effort rather than panicking the miner.
+		return ""
+	}
+	return hex.EncodeToString(b)
+}

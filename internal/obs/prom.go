@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Errors are sticky: after the first write failure every
+// call is a no-op and Err reports it.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Meta writes the # HELP and # TYPE header for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (p *PromWriter) Meta(name, typ, help string) {
+	var b strings.Builder
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// Sample writes one sample line: name{labels} value.
+func (p *PromWriter) Sample(name string, labels []Label, value float64) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(FormatValue(value))
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// FormatValue renders a sample value the way Prometheus expects,
+// including the "+Inf"/"-Inf"/"NaN" specials.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FormatLE renders a histogram bucket upper bound for the le label.
+func FormatLE(v float64) string { return FormatValue(v) }
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Meta("permine_jobs", "gauge", "Jobs by state.")
+	p.Sample("permine_jobs", []Label{{"state", "done"}}, 3)
+	p.Meta("permine_uptime_seconds", "gauge", "")
+	p.Sample("permine_uptime_seconds", nil, 12.5)
+	p.Sample("permine_x_bucket", []Label{{"algorithm", "MPP"}, {"le", "+Inf"}}, 7)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP permine_jobs Jobs by state.
+# TYPE permine_jobs gauge
+permine_jobs{state="done"} 3
+# TYPE permine_uptime_seconds gauge
+permine_uptime_seconds 12.5
+permine_x_bucket{algorithm="MPP",le="+Inf"} 7
+`
+	if buf.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Meta("m", "counter", "line one\nline \\two")
+	p.Sample("m", []Label{{"route", `GET "/v1/jobs"` + "\nx\\y"}}, 1)
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m line one\nline \\two`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `route="GET \"/v1/jobs\"\nx\\y"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{0.001, "0.001"},
+		{1.5e9, "1.5e+09"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, tc := range cases {
+		if got := FormatValue(tc.in); got != tc.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := FormatValue(math.NaN()); got != "NaN" {
+		t.Errorf("FormatValue(NaN) = %q", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }
+
+func TestPromWriterStickyError(t *testing.T) {
+	w := &failWriter{}
+	p := NewPromWriter(w)
+	p.Sample("a", nil, 1)
+	p.Sample("b", nil, 2)
+	p.Meta("c", "gauge", "h")
+	if p.Err() == nil {
+		t.Fatal("error not surfaced")
+	}
+	if w.n != 1 {
+		t.Errorf("writer hit %d times after failure, want 1 (sticky error)", w.n)
+	}
+}

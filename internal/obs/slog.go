@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// SlogExporter logs one structured record per finished span, correlated
+// by trace_id/span_id, so `grep trace_id=...` over the daemon's logs
+// reconstructs a request end to end.
+type SlogExporter struct {
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+	// Level defaults to slog.LevelDebug: span logs are high-volume (one
+	// per mining level), so they stay out of the default Info stream.
+	Level slog.Leveler
+}
+
+// ExportSpan implements Exporter.
+func (e *SlogExporter) ExportSpan(sd SpanData) {
+	logger := e.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	level := slog.LevelDebug
+	if e.Level != nil {
+		level = e.Level.Level()
+	}
+	if !logger.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 6+len(sd.Attrs))
+	attrs = append(attrs,
+		slog.String("span", sd.Name),
+		slog.String("trace_id", sd.TraceID),
+		slog.String("span_id", sd.SpanID),
+		slog.Float64("duration_ms", sd.DurationMS),
+	)
+	if sd.ParentID != "" {
+		attrs = append(attrs, slog.String("parent_id", sd.ParentID))
+	}
+	if sd.Error != "" {
+		attrs = append(attrs, slog.String("error", sd.Error))
+	}
+	for _, a := range sd.Attrs {
+		attrs = append(attrs, slog.Any(a.Key, a.Value))
+	}
+	logger.LogAttrs(context.Background(), level, "span", attrs...)
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Tracer creates spans and fans finished spans out to its exporters. The
+// zero value and nil are usable (spans become no-ops).
+type Tracer struct {
+	exporters []Exporter
+}
+
+// NewTracer builds a Tracer exporting to the given sinks (nil entries are
+// dropped).
+func NewTracer(exporters ...Exporter) *Tracer {
+	t := &Tracer{}
+	for _, e := range exporters {
+		if e != nil {
+			t.exporters = append(t.exporters, e)
+		}
+	}
+	return t
+}
+
+// Span is one in-flight operation. All methods are safe for concurrent
+// use and no-op on a nil receiver, so instrumentation never needs to
+// check whether tracing is enabled.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span; Start uses it to parent
+// child spans.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start creates a span. When ctx already carries a span the new one is
+// its child (same trace); otherwise a fresh trace is started. The
+// returned context carries the new span.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent SpanContext
+	if p := FromContext(ctx); p != nil {
+		parent = p.Context()
+	}
+	return t.start(ctx, parent, "", name, attrs)
+}
+
+// StartRoot creates a root span with an explicit trace id (the HTTP
+// middleware uses the request's X-Request-Id). An empty traceID starts a
+// fresh trace.
+func (t *Tracer) StartRoot(ctx context.Context, traceID, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.start(ctx, SpanContext{}, traceID, name, attrs)
+}
+
+// StartLink creates a child of the given parent span context, which may
+// come from another goroutine (the cross-goroutine submit→run link). An
+// invalid parent starts a fresh trace.
+func (t *Tracer) StartLink(ctx context.Context, parent SpanContext, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.start(ctx, parent, "", name, attrs)
+}
+
+func (t *Tracer) start(ctx context.Context, parent SpanContext, traceID, name string, attrs []Attr) (context.Context, *Span) {
+	sd := SpanData{
+		SpanID: newSpanID(),
+		Name:   name,
+		Start:  time.Now(),
+		Attrs:  append([]Attr(nil), attrs...),
+	}
+	switch {
+	case parent.Valid():
+		sd.TraceID, sd.ParentID = parent.TraceID, parent.SpanID
+	case traceID != "":
+		sd.TraceID = traceID
+	default:
+		sd.TraceID = NewTraceID()
+	}
+	s := &Span{tracer: t, data: sd}
+	return ContextWithSpan(ctx, s), s
+}
+
+// Start creates a child of the span carried by ctx, using that span's
+// tracer. Without a span in ctx it returns a nil (no-op) span, so library
+// code — internal/mine's per-level spans — costs nothing when the caller
+// did not configure tracing.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	p := FromContext(ctx)
+	if p == nil {
+		return ctx, nil
+	}
+	return p.tracer.start(ctx, p.Context(), "", name, attrs)
+}
+
+// Context returns the span's identifiers (zero for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanContext{TraceID: s.data.TraceID, SpanID: s.data.SpanID}
+}
+
+// SetAttr sets (or replaces) one attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.data.Attrs {
+		if s.data.Attrs[i].Key == key {
+			s.data.Attrs[i].Value = value
+			return
+		}
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// AddEvent appends one timestamped event to the span.
+func (s *Span) AddEvent(msg string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Events = append(s.data.Events, Event{Time: time.Now(), Msg: msg, Attrs: attrs})
+}
+
+// RecordError marks the span failed with the error's message (nil err is
+// ignored).
+func (s *Span) RecordError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Error = err.Error()
+}
+
+// End finishes the span and exports it. End is idempotent: the second and
+// later calls are no-ops (the queue span is ended by both the worker
+// pickup and the cancel path, whichever comes first).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = time.Now()
+	s.data.DurationMS = float64(s.data.End.Sub(s.data.Start)) / float64(time.Millisecond)
+	sd := s.data
+	sd.Attrs = append([]Attr(nil), s.data.Attrs...)
+	sd.Events = append([]Event(nil), s.data.Events...)
+	tracer := s.tracer
+	s.mu.Unlock()
+	for _, e := range tracer.exporters {
+		e.ExportSpan(sd)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"permine/internal/core"
 	"permine/internal/mine"
+	"permine/internal/obs"
 	"permine/internal/seq"
 	"permine/internal/server/store"
 )
@@ -48,6 +49,14 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// trace is the submit span's context: the parent every later span of
+	// this job (queue, run, persist, per-level) links to, across
+	// goroutines. Zero when the submit was not traced.
+	trace obs.SpanContext
+	// queueSpan covers the queued→picked-up wait; ended by worker pickup
+	// or cancel, whichever comes first (End is idempotent).
+	queueSpan *obs.Span
+
 	mu         sync.Mutex
 	state      JobState
 	attempts   int // executions consumed by crash-recovery re-runs
@@ -72,11 +81,14 @@ func (j *Job) State() JobState {
 }
 
 // addLevel records one completed mining level (called from the mining
-// goroutine via Params.Progress).
-func (j *Job) addLevel(lm core.LevelMetrics) {
+// goroutine via Params.Progress) and returns the cumulative level count —
+// the event sequence number. The count, not the pattern length, orders
+// events: the adaptive algorithm restarts pattern lengths every round.
+func (j *Job) addLevel(lm core.LevelMetrics) int {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.levels = append(j.levels, lm)
-	j.mu.Unlock()
+	return len(j.levels)
 }
 
 // JobView is the JSON representation of a job's state at one instant.
@@ -95,6 +107,7 @@ type JobView struct {
 	Result     *core.Result        `json:"result,omitempty"`
 	Error      string              `json:"error,omitempty"`
 	Note       string              `json:"note,omitempty"`
+	TraceID    string              `json:"trace_id,omitempty"`
 }
 
 // Snapshot renders the job for JSON responses. The result is included only
@@ -113,6 +126,7 @@ func (j *Job) Snapshot() JobView {
 		CreatedAt: j.createdAt,
 		Progress:  append([]core.LevelMetrics(nil), j.levels...),
 		Note:      j.note,
+		TraceID:   j.trace.TraceID,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -174,6 +188,13 @@ type ManagerConfig struct {
 	// RetryBackoff is the delay before a recovered job's first
 	// re-execution, doubling per prior attempt (default 500ms).
 	RetryBackoff time.Duration
+	// Tracer, when non-nil, links every job's submit→queue→run→persist
+	// spans (and, through the run context, internal/mine's per-level
+	// spans) into the submitting request's trace.
+	Tracer *obs.Tracer
+	// Events, when non-nil, receives per-level progress and terminal
+	// events for SSE streaming.
+	Events *Broadcaster
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -252,10 +273,17 @@ func (m *Manager) QueueDepth() int { return len(m.queue) }
 
 // Submit registers a mining job. On a cache hit the returned job is
 // already done (State JobDone, CacheHit true); otherwise it is queued.
-// timeout <= 0 uses the manager default.
-func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Params, timeout time.Duration) (*Job, error) {
+// timeout <= 0 uses the manager default. When rctx carries a tracing span
+// (the HTTP request span), the job's submit/queue/run spans join its
+// trace; context.Background() is fine otherwise — rctx does not govern
+// the job's lifetime.
+func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algorithm, params core.Params, timeout time.Duration) (*Job, error) {
+	sctx, span := obs.Start(rctx, "job.submit",
+		obs.KV("algorithm", algo.String()), obs.KV("seq_len", s.Len()))
+	defer span.End()
 	np, err := params.Normalize()
 	if err != nil {
+		span.RecordError(err)
 		return nil, err
 	}
 	if timeout <= 0 {
@@ -272,16 +300,19 @@ func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Param
 		cancel:    cancel,
 		state:     JobQueued,
 		createdAt: time.Now(),
+		trace:     span.Context(),
 	}
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		cancel()
+		span.RecordError(ErrShuttingDown)
 		return nil, ErrShuttingDown
 	}
 	m.nextID++
 	j.id = fmt.Sprintf("j-%06d", m.nextID)
+	span.SetAttr("job", j.id)
 
 	if m.cfg.Cache != nil {
 		if res, ok := m.cfg.Cache.Get(j.cacheKey); ok {
@@ -295,6 +326,7 @@ func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Param
 			rec := recordForJob(j)
 			m.mu.Unlock()
 			cancel()
+			span.SetAttr("cache_hit", true)
 			m.cfg.Store.AppendSubmit(rec)
 			m.transition(nil, "", JobDone)
 			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
@@ -307,11 +339,15 @@ func (m *Manager) Submit(s *seq.Sequence, algo core.Algorithm, params core.Param
 	// in between re-runs at most this one job's already-finished work (the
 	// replay ignores out-of-order transitions for unknown jobs).
 	rec := recordForJob(j)
+	_, j.queueSpan = obs.Start(sctx, "job.queue", obs.KV("job", j.id))
 	select {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
 		cancel()
+		j.queueSpan.RecordError(ErrQueueFull)
+		j.queueSpan.End()
+		span.RecordError(ErrQueueFull)
 		return nil, ErrQueueFull
 	}
 	m.register(j)
@@ -391,12 +427,28 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	finishedAt := j.finishedAt
 	j.mu.Unlock()
 	j.cancel()
+	j.queueSpan.End() // cancelled while queued: the wait is over
 	m.cfg.Store.AppendOutcome(j.id, store.Outcome{
 		State: string(JobCancelled), Error: context.Canceled.Error(), FinishedAt: finishedAt,
 	})
 	m.transition(nil, from, JobCancelled)
+	m.publishEnd(j)
 	m.cfg.Logger.Info("job cancelled", "job", id, "was", string(from))
 	return j, nil
+}
+
+// publishEnd pushes the job's terminal "end" event and closes its event
+// streams. The result is stripped (it can be megabytes; stream clients
+// fetch GET /v1/jobs/{id} for it) and Seq carries the level count so
+// subscribers can tell a complete stream from a truncated one.
+func (m *Manager) publishEnd(j *Job) {
+	if m.cfg.Events == nil {
+		return
+	}
+	v := j.Snapshot()
+	seq := len(v.Progress)
+	v.Result, v.Progress = nil, nil
+	m.cfg.Events.EndJob(Event{Type: "end", Job: j.id, Seq: seq, Data: v})
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -418,6 +470,7 @@ func (m *Manager) runJob(j *Job) {
 	j.startedAt = time.Now()
 	startedAt, attempts := j.startedAt, j.attempts
 	j.mu.Unlock()
+	j.queueSpan.End() // picked up: the queue wait is over
 	m.cfg.Store.AppendState(j.id, string(JobRunning), attempts, startedAt)
 	m.transition(nil, JobQueued, JobRunning)
 
@@ -427,10 +480,19 @@ func (m *Manager) runJob(j *Job) {
 		ctx, cancelTimeout = context.WithTimeout(ctx, j.timeout)
 		defer cancelTimeout()
 	}
+	// The run span links to the submit span recorded at Submit time: the
+	// worker goroutine re-joins the submitting request's trace, and the
+	// run context carries the span so internal/mine's per-level spans
+	// nest under it.
+	runCtx, runSpan := m.cfg.Tracer.StartLink(ctx, j.trace, "job.run",
+		obs.KV("job", j.id), obs.KV("algorithm", j.algorithm.String()))
 	p := j.params
-	p.Ctx = ctx
+	p.Ctx = runCtx
 	p.Progress = func(lm core.LevelMetrics) {
-		j.addLevel(lm)
+		seq := j.addLevel(lm)
+		if m.cfg.Events != nil {
+			m.cfg.Events.Publish(Event{Type: "level", Job: j.id, Seq: seq, Data: lm})
+		}
 		if m.OnLevel != nil {
 			m.OnLevel(j, lm)
 		}
@@ -445,6 +507,8 @@ func (m *Manager) runJob(j *Job) {
 		// Cancel won the race: the job is already cancelled from the
 		// client's point of view; discard whatever the run produced.
 		j.mu.Unlock()
+		runSpan.RecordError(context.Canceled)
+		runSpan.End()
 		return
 	}
 	j.finishedAt = time.Now()
@@ -471,9 +535,19 @@ func (m *Manager) runJob(j *Job) {
 	if j.err != nil {
 		out.Error = j.err.Error()
 	}
+	finalErr := j.err
 	j.mu.Unlock()
 
+	runSpan.SetAttr("state", string(final))
+	if res != nil {
+		runSpan.SetAttr("patterns", len(res.Patterns))
+		runSpan.SetAttr("levels", len(res.Levels))
+	}
+	runSpan.RecordError(finalErr)
+	_, persistSpan := obs.Start(runCtx, "job.persist", obs.KV("job", j.id))
 	m.cfg.Store.AppendOutcome(j.id, out)
+	persistSpan.End()
+	runSpan.End()
 	m.transition(nil, JobRunning, final)
 	if m.cfg.Metrics != nil && (final == JobDone || final == JobFailed) {
 		m.cfg.Metrics.ObserveMining(j.algorithm.String(), elapsed)
@@ -481,6 +555,7 @@ func (m *Manager) runJob(j *Job) {
 	if final == JobDone && m.cfg.Cache != nil {
 		m.cfg.Cache.Put(j.cacheKey, j.result)
 	}
+	m.publishEnd(j)
 	m.cfg.Logger.Info("job finished", "job", j.id, "state", string(final), "elapsed", elapsed)
 }
 

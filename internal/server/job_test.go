@@ -68,7 +68,7 @@ func TestManagerLifecycle(t *testing.T) {
 	m := newTestManager(t, ManagerConfig{Workers: 2})
 	s := genomeSeq(t, 400, 7)
 
-	j, err := m.Submit(s, core.AlgoMPPm, miningParams(), 0)
+	j, err := m.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestManagerCacheHit(t *testing.T) {
 	m := newTestManager(t, ManagerConfig{Workers: 1, Cache: cache})
 	s := genomeSeq(t, 400, 7)
 
-	j1, err := m.Submit(s, core.AlgoMPPm, miningParams(), 0)
+	j1, err := m.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestManagerCacheHit(t *testing.T) {
 		t.Fatalf("first run: state %s cacheHit %v, want done/false", v1.State, v1.CacheHit)
 	}
 
-	j2, err := m.Submit(s, core.AlgoMPPm, miningParams(), 0)
+	j2, err := m.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestManagerCancelRunning(t *testing.T) {
 		<-release
 	}
 
-	j, err := m.Submit(genomeSeq(t, 400, 7), core.AlgoMPP, miningParams(), 0)
+	j, err := m.Submit(context.Background(), genomeSeq(t, 400, 7), core.AlgoMPP, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,14 +195,14 @@ func TestManagerQueueFull(t *testing.T) {
 	defer close(release)
 
 	s := genomeSeq(t, 400, 7)
-	if _, err := m.Submit(s, core.AlgoMPP, miningParams(), 0); err != nil {
+	if _, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0); err != nil {
 		t.Fatal(err)
 	}
 	<-started // worker is now blocked mid-job; the queue is free again
-	if _, err := m.Submit(s, core.AlgoMPP, miningParams(), 0); err != nil {
+	if _, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0); err != nil {
 		t.Fatal(err) // occupies the queue slot
 	}
-	if _, err := m.Submit(s, core.AlgoMPP, miningParams(), 0); err != ErrQueueFull {
+	if _, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0); err != ErrQueueFull {
 		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
 	}
 }
@@ -214,7 +214,7 @@ func TestManagerShutdownCancelsWork(t *testing.T) {
 	s := genomeSeq(t, 500, 3)
 	var jobs []*Job
 	for i := 0; i < 4; i++ {
-		j, err := m.Submit(s, core.AlgoMPP, miningParams(), 0)
+		j, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestManagerShutdownCancelsWork(t *testing.T) {
 			t.Errorf("job %s still %s after shutdown", j.ID(), st)
 		}
 	}
-	if _, err := m.Submit(s, core.AlgoMPP, miningParams(), 0); err != ErrShuttingDown {
+	if _, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0); err != ErrShuttingDown {
 		t.Errorf("submit after shutdown: err = %v, want ErrShuttingDown", err)
 	}
 	if err := m.Shutdown(ctx); err != nil {
@@ -262,7 +262,7 @@ func TestManagerConcurrentLoad(t *testing.T) {
 				if i%2 == 0 {
 					algo = core.AlgoMPPm
 				}
-				j, err := m.Submit(s, algo, miningParams(), 0)
+				j, err := m.Submit(context.Background(), s, algo, miningParams(), 0)
 				if err == ErrQueueFull {
 					continue
 				}
@@ -318,7 +318,7 @@ func TestManagerRetention(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		p := miningParams()
 		p.MinSupport = 0.0005 + float64(i)*1e-6 // distinct cache keys
-		j, err := m.Submit(s, core.AlgoMPP, p, 0)
+		j, err := m.Submit(context.Background(), s, core.AlgoMPP, p, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -352,7 +352,7 @@ func TestManagerCancelQueued(t *testing.T) {
 	}
 
 	s := genomeSeq(t, 400, 7)
-	j1, err := m.Submit(s, core.AlgoMPP, miningParams(), 0)
+	j1, err := m.Submit(context.Background(), s, core.AlgoMPP, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestManagerCancelQueued(t *testing.T) {
 
 	p2 := miningParams()
 	p2.MinSupport = 0.0006 // distinct cache key
-	j2, err := m.Submit(s, core.AlgoMPP, p2, 0)
+	j2, err := m.Submit(context.Background(), s, core.AlgoMPP, p2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestManagerCancelQueued(t *testing.T) {
 	}
 	p3 := miningParams()
 	p3.MinSupport = 0.0007
-	j3, err := m.Submit(s, core.AlgoMPP, p3, 0)
+	j3, err := m.Submit(context.Background(), s, core.AlgoMPP, p3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func TestManagerCancelRace(t *testing.T) {
 	for i := 0; i < jobs; i++ {
 		p := miningParams()
 		p.MinSupport = 0.0005 + float64(i)*1e-6 // defeat the cache
-		j, err := m.Submit(s, core.AlgoMPP, p, 0)
+		j, err := m.Submit(context.Background(), s, core.AlgoMPP, p, 0)
 		if err == ErrQueueFull {
 			continue
 		}

@@ -80,6 +80,7 @@ type Metrics struct {
 	latency   map[string]*Histogram
 	queueFn   func() int
 	storeFn   func() store.Stats
+	sseFn     func() SSEStats
 }
 
 // NewMetrics builds an empty registry; queueFn (optional) reports live
@@ -165,6 +166,7 @@ type MetricsSnapshot struct {
 	Recovery      map[string]int64         `json:"recovery,omitempty"`
 	Requests      map[string]int64         `json:"requests_total"`
 	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
+	SSE           SSEStats                 `json:"sse"`
 }
 
 // Snapshot renders every counter; cache may be nil.
@@ -203,6 +205,9 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 		snap.Store = m.storeFn()
 	} else {
 		snap.Store = store.Stats{Backend: "memory"}
+	}
+	if m.sseFn != nil {
+		snap.SSE = m.sseFn()
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()

@@ -35,7 +35,7 @@ func TestManagerPersistTerminal(t *testing.T) {
 	m1 := newTestManager(t, ManagerConfig{Workers: 1, Store: w1})
 	s := genomeSeq(t, 400, 7)
 
-	j, err := m1.Submit(s, core.AlgoMPPm, miningParams(), 0)
+	j, err := m1.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestManagerPersistTerminal(t *testing.T) {
 
 	// The restored result re-warmed the cache: an identical submit is an
 	// instant hit.
-	j2, err := m2.Submit(s, core.AlgoMPPm, miningParams(), 0)
+	j2, err := m2.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestManagerCrashRequeue(t *testing.T) {
 	s := genomeSeq(t, 400, 7)
 	var ids []string
 	for i := 0; i < 3; i++ {
-		j, err := m1.Submit(s, core.AlgoMPPm, miningParams(), 0)
+		j, err := m1.Submit(context.Background(), s, core.AlgoMPPm, miningParams(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +242,7 @@ func TestManagerDegradedStoreStillServes(t *testing.T) {
 	m := newTestManager(t, ManagerConfig{Workers: 1, Store: w})
 
 	fs.FailFrom = fs.Ops() + 1 // disk dies before the first submit
-	j, err := m.Submit(genomeSeq(t, 400, 7), core.AlgoMPPm, miningParams(), 0)
+	j, err := m.Submit(context.Background(), genomeSeq(t, 400, 7), core.AlgoMPPm, miningParams(), 0)
 	if err != nil {
 		t.Fatalf("submit with a dead disk: %v", err)
 	}

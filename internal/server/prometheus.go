@@ -1,0 +1,126 @@
+package server
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"permine/internal/obs"
+)
+
+// writePrometheus renders a metrics snapshot in Prometheus text exposition
+// format (version 0.0.4). Map-backed metric families are emitted in sorted
+// label order so the output is deterministic and golden-testable.
+func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
+	p := obs.NewPromWriter(w)
+
+	p.Meta("permine_uptime_seconds", "gauge", "Seconds since the metrics registry started.")
+	p.Sample("permine_uptime_seconds", nil, snap.UptimeSeconds)
+
+	p.Meta("permine_jobs", "gauge", "Jobs currently in each lifecycle state.")
+	for _, state := range sortedKeys(snap.Jobs) {
+		p.Sample("permine_jobs", []obs.Label{{Name: "state", Value: state}}, float64(snap.Jobs[state]))
+	}
+
+	p.Meta("permine_jobs_finished_total", "counter", "Jobs finished, by terminal state.")
+	for _, state := range sortedKeys(snap.JobsFinished) {
+		p.Sample("permine_jobs_finished_total", []obs.Label{{Name: "state", Value: state}}, float64(snap.JobsFinished[state]))
+	}
+
+	p.Meta("permine_queue_depth", "gauge", "Jobs waiting for a worker.")
+	p.Sample("permine_queue_depth", nil, float64(snap.QueueDepth))
+
+	p.Meta("permine_cache_entries", "gauge", "Result cache entries resident.")
+	p.Sample("permine_cache_entries", nil, float64(snap.Cache.Size))
+	p.Meta("permine_cache_capacity", "gauge", "Result cache capacity in entries.")
+	p.Sample("permine_cache_capacity", nil, float64(snap.Cache.Capacity))
+	p.Meta("permine_cache_hits_total", "counter", "Result cache hits.")
+	p.Sample("permine_cache_hits_total", nil, float64(snap.Cache.Hits))
+	p.Meta("permine_cache_misses_total", "counter", "Result cache misses.")
+	p.Sample("permine_cache_misses_total", nil, float64(snap.Cache.Misses))
+
+	p.Meta("permine_store_info", "gauge", "Job store backend (constant 1, labelled).")
+	p.Sample("permine_store_info", []obs.Label{{Name: "backend", Value: snap.Store.Backend}}, 1)
+	p.Meta("permine_store_degraded", "gauge", "1 when the job store gave up on its journal.")
+	p.Sample("permine_store_degraded", nil, boolGauge(snap.Store.Degraded))
+	p.Meta("permine_store_journal_bytes", "gauge", "Current journal size on disk.")
+	p.Sample("permine_store_journal_bytes", nil, float64(snap.Store.JournalBytes))
+	p.Meta("permine_store_appends_total", "counter", "Journal append operations.")
+	p.Sample("permine_store_appends_total", nil, float64(snap.Store.Appends))
+	p.Meta("permine_store_fsyncs_total", "counter", "Journal fsync calls.")
+	p.Sample("permine_store_fsyncs_total", nil, float64(snap.Store.Fsyncs))
+	p.Meta("permine_store_write_errors_total", "counter", "Journal write failures.")
+	p.Sample("permine_store_write_errors_total", nil, float64(snap.Store.WriteErrors))
+	p.Meta("permine_store_write_retries_total", "counter", "Journal write retries.")
+	p.Sample("permine_store_write_retries_total", nil, float64(snap.Store.WriteRetries))
+	p.Meta("permine_store_compactions_total", "counter", "Journal snapshot compactions.")
+	p.Sample("permine_store_compactions_total", nil, float64(snap.Store.Compactions))
+
+	if len(snap.Recovery) > 0 {
+		p.Meta("permine_recovery_total", "counter", "Boot-time crash-recovery outcomes.")
+		for _, outcome := range sortedKeys(snap.Recovery) {
+			p.Sample("permine_recovery_total", []obs.Label{{Name: "outcome", Value: outcome}}, float64(snap.Recovery[outcome]))
+		}
+	}
+
+	p.Meta("permine_sse_subscribers", "gauge", "Attached job event streams.")
+	p.Sample("permine_sse_subscribers", nil, float64(snap.SSE.Subscribers))
+	p.Meta("permine_sse_dropped_total", "counter", "Event streams dropped for falling behind.")
+	p.Sample("permine_sse_dropped_total", nil, float64(snap.SSE.Dropped))
+
+	p.Meta("permine_requests_total", "counter", "HTTP requests by route and status class.")
+	for _, key := range sortedKeys(snap.Requests) {
+		route, class := splitRequestKey(key)
+		p.Sample("permine_requests_total",
+			[]obs.Label{{Name: "route", Value: route}, {Name: "class", Value: class}},
+			float64(snap.Requests[key]))
+	}
+
+	p.Meta("permine_mining_latency_seconds", "histogram", "Wall-clock latency of finished mining runs, by algorithm.")
+	for _, algo := range sortedKeys(snap.Latency) {
+		h := snap.Latency[algo]
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if b.LE != 0 {
+				le = obs.FormatLE(b.LE)
+			}
+			p.Sample("permine_mining_latency_seconds_bucket",
+				[]obs.Label{{Name: "algorithm", Value: algo}, {Name: "le", Value: le}},
+				float64(b.Cumulative))
+		}
+		p.Sample("permine_mining_latency_seconds_sum",
+			[]obs.Label{{Name: "algorithm", Value: algo}}, h.SumSeconds)
+		p.Sample("permine_mining_latency_seconds_count",
+			[]obs.Label{{Name: "algorithm", Value: algo}}, float64(h.Count))
+	}
+
+	return p.Err()
+}
+
+// sortedKeys returns the map's keys in ascending order for deterministic
+// exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitRequestKey splits a "METHOD /route class" requests counter key into
+// its route and status-class parts.
+func splitRequestKey(key string) (route, class string) {
+	i := strings.LastIndexByte(key, ' ')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1:]
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

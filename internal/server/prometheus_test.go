@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"permine/internal/server/store"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSnapshot is a hand-built MetricsSnapshot covering every metric
+// family with deterministic values (no uptime, no live clocks).
+func fixedSnapshot() MetricsSnapshot {
+	h := HistogramView{Count: 4, SumSeconds: 1.75}
+	var cum int64
+	for i := range latencyBuckets {
+		switch {
+		case latencyBuckets[i] >= 1:
+			cum = 4
+		case latencyBuckets[i] >= 0.1:
+			cum = 3
+		case latencyBuckets[i] >= 0.01:
+			cum = 1
+		}
+		h.Buckets = append(h.Buckets, HistogramEntry{LE: latencyBuckets[i], Cumulative: cum})
+	}
+	h.Buckets = append(h.Buckets, HistogramEntry{LE: 0, Cumulative: 4}) // +Inf
+	return MetricsSnapshot{
+		UptimeSeconds: 12.5,
+		Jobs:          map[string]int64{"done": 3, "running": 1},
+		JobsFinished:  map[string]int64{"done": 3, "failed": 1},
+		QueueDepth:    2,
+		Cache:         CacheStats{Size: 5, Capacity: 128, Hits: 7, Misses: 9, HitRatio: 0.4375},
+		Store: store.Stats{
+			Backend: "wal", JournalBytes: 2048, Appends: 21, Fsyncs: 21,
+			WriteErrors: 0, WriteRetries: 1, Compactions: 2,
+		},
+		Recovery: map[string]int64{"requeued": 1, "terminal": 4},
+		Requests: map[string]int64{
+			"POST /v1/jobs 2xx":     6,
+			"GET /v1/jobs/{id} 2xx": 12,
+			"GET /v1/jobs/{id} 4xx": 1,
+			"other 4xx":             3,
+			"GET /metrics 2xx":      2,
+		},
+		Latency: map[string]HistogramView{"MPPm": h},
+		SSE:     SSEStats{Subscribers: 1, Dropped: 2},
+	}
+}
+
+// TestPrometheusGolden pins the full exposition output. Regenerate with
+// go test ./internal/server/ -run TestPrometheusGolden -update.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writePrometheus(&buf, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// parseBucketLine extracts the le label and sample value of a _bucket line.
+func parseBucketLine(t *testing.T, line string) (le string, value float64) {
+	t.Helper()
+	i := strings.Index(line, `le="`)
+	if i < 0 {
+		t.Fatalf("bucket line without le label: %s", line)
+	}
+	rest := line[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	le = rest[:j]
+	fields := strings.Fields(line)
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("bucket value in %q: %v", line, err)
+	}
+	return le, v
+}
+
+// TestPrometheusEndpointInvariants scrapes a live server after real
+// traffic and checks the format invariants a Prometheus scraper relies
+// on: content type, strictly ascending le bounds with a final +Inf
+// bucket, and +Inf cumulative count equal to the _count sample.
+func TestPrometheusEndpointInvariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobBody(t, "mppm", genomeSeq(t, 400, 7).Data()))
+	sub := decode(t, resp.Body)
+	resp.Body.Close()
+	pollJob(t, ts.URL, sub["id"].(string))
+
+	mresp := doRequest(t, http.MethodGet, ts.URL+"/metrics")
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE permine_jobs gauge",
+		"# TYPE permine_mining_latency_seconds histogram",
+		`permine_jobs_finished_total{state="done"} 1`,
+		`permine_requests_total{route="POST /v1/jobs",class="2xx"}`,
+		"permine_sse_subscribers 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var les []string
+	var bucketVals []float64
+	var count float64
+	haveCount := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `permine_mining_latency_seconds_bucket{algorithm="MPPm"`) {
+			le, v := parseBucketLine(t, line)
+			les = append(les, le)
+			bucketVals = append(bucketVals, v)
+		}
+		if strings.HasPrefix(line, `permine_mining_latency_seconds_count{algorithm="MPPm"`) {
+			fields := strings.Fields(line)
+			count, err = strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			haveCount = true
+		}
+	}
+	if len(les) == 0 || !haveCount {
+		t.Fatalf("no MPPm histogram in /metrics:\n%s", text)
+	}
+	if les[len(les)-1] != "+Inf" {
+		t.Errorf("last bucket le = %q, want +Inf", les[len(les)-1])
+	}
+	prev := -1.0
+	for _, le := range les[:len(les)-1] {
+		v, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("le %q: %v", le, err)
+		}
+		if v <= prev {
+			t.Errorf("le bounds not ascending: %v", les)
+		}
+		prev = v
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Errorf("bucket counts not cumulative: %v", bucketVals)
+		}
+	}
+	if inf := bucketVals[len(bucketVals)-1]; inf != count {
+		t.Errorf("+Inf bucket = %v, _count = %v; must be equal", inf, count)
+	}
+	if count != 1 {
+		t.Errorf("_count = %v after one mining run, want 1", count)
+	}
+}

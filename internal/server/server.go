@@ -7,14 +7,18 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs      submit a mining job (JSON, or raw FASTA body with
-//	                     parameters in the query string)
-//	GET    /v1/jobs      list retained jobs, newest first
-//	GET    /v1/jobs/{id} job state, per-level progress, result when done
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	POST   /v1/query     synchronous pattern support/occurrences on small inputs
-//	GET    /v1/metrics   job/cache/request/latency counters (also /metrics)
-//	GET    /healthz      liveness + version
+//	POST   /v1/jobs             submit a mining job (JSON, or raw FASTA body
+//	                            with parameters in the query string)
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        job state, per-level progress, result when done
+//	GET    /v1/jobs/{id}/events per-level progress as Server-Sent Events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/query            synchronous pattern support/occurrences on small inputs
+//	GET    /v1/metrics          job/cache/request/latency counters (JSON)
+//	GET    /metrics             the same counters in Prometheus text format
+//	GET    /v1/traces           recent trace summaries
+//	GET    /v1/traces/{id}      every retained span of one trace
+//	GET    /healthz             liveness + version
 package server
 
 import (
@@ -32,6 +36,7 @@ import (
 
 	"permine/internal/combinat"
 	"permine/internal/core"
+	"permine/internal/obs"
 	"permine/internal/pattern"
 	"permine/internal/seq"
 	"permine/internal/server/store"
@@ -70,6 +75,9 @@ type Config struct {
 	// (see ManagerConfig).
 	RetryBudget  int
 	RetryBackoff time.Duration
+	// TraceSpans bounds the in-memory span ring behind /v1/traces
+	// (default obs.DefaultRingSpans).
+	TraceSpans int
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -97,14 +105,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server ties the job manager, store, cache and metrics behind an
-// http.Handler.
+// Server ties the job manager, store, cache, metrics, tracing and event
+// streaming behind an http.Handler.
 type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
 	mgr     *Manager
 	st      store.Store
+	tracer  *obs.Tracer
+	ring    *obs.Ring
+	events  *Broadcaster
 	handler http.Handler
 	started time.Time
 }
@@ -118,6 +129,9 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := NewCache(cfg.CacheSize)
 	metrics := NewMetrics(nil)
+	ring := obs.NewRing(cfg.TraceSpans)
+	tracer := obs.NewTracer(ring, &obs.SlogExporter{Logger: cfg.Logger, Level: slog.LevelDebug})
+	events := NewBroadcaster()
 
 	var st store.Store = store.NewMemory()
 	if cfg.DataDir != "" {
@@ -146,10 +160,13 @@ func New(cfg Config) *Server {
 		Store:        st,
 		RetryBudget:  cfg.RetryBudget,
 		RetryBackoff: cfg.RetryBackoff,
+		Tracer:       tracer,
+		Events:       events,
 		Logger:       cfg.Logger,
 	})
 	metrics.queueFn = mgr.QueueDepth
 	metrics.storeFn = st.Stats
+	metrics.sseFn = events.Stats
 	if recs := st.Recovered(); len(recs) > 0 {
 		sum := mgr.Restore(recs)
 		cfg.Logger.Info("restored jobs from journal", "data_dir", cfg.DataDir,
@@ -162,6 +179,9 @@ func New(cfg Config) *Server {
 		metrics: metrics,
 		mgr:     mgr,
 		st:      st,
+		tracer:  tracer,
+		ring:    ring,
+		events:  events,
 		started: time.Now(),
 	}
 
@@ -169,14 +189,20 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.handler = s.logging(mux)
 	return s
 }
+
+// Traces exposes the span ring (tests and embedding daemons).
+func (s *Server) Traces() *obs.Ring { return s.ring }
 
 // Handler returns the root handler (request logging + routing).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -187,11 +213,12 @@ func (s *Server) Manager() *Manager { return s.mgr }
 // Store exposes the job store (tests and health probes).
 func (s *Server) Store() store.Store { return s.st }
 
-// Shutdown drains the job manager, then closes the journal (drain-time
-// terminal transitions are journaled first; appends after the close are
-// no-ops).
+// Shutdown drains the job manager, closes every event stream, then closes
+// the journal (drain-time terminal transitions are journaled first;
+// appends after the close are no-ops).
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.mgr.Shutdown(ctx)
+	s.events.Close()
 	if cerr := s.st.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -219,17 +246,34 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// logging is the structured-request-log + request-metrics middleware.
+// Flush forwards to the wrapped writer so SSE streams flush through the
+// middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logging is the structured-request-log + request-metrics + tracing
+// middleware: every request runs inside a root span whose trace id is the
+// (sanitised) X-Request-Id, generated when the client sent none, and
+// echoed back on the response.
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
-		next.ServeHTTP(sw, r)
+		route := routeLabel(r)
+		traceID := requestID(r.Header.Get("X-Request-Id"))
+		sw.Header().Set("X-Request-Id", traceID)
+		ctx, span := s.tracer.StartRoot(r.Context(), traceID, "http.request",
+			obs.KV("method", r.Method), obs.KV("path", r.URL.Path), obs.KV("route", route))
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		route := routeLabel(r)
+		span.SetAttr("status", sw.status)
+		span.End()
 		s.metrics.ObserveRequest(route, sw.status)
 		s.cfg.Logger.Info("request",
 			"method", r.Method,
@@ -239,16 +283,49 @@ func (s *Server) logging(next http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"elapsed", time.Since(start),
 			"remote", r.RemoteAddr,
+			"trace_id", traceID,
 		)
 	})
 }
 
-// routeLabel normalises a request to its route pattern so metrics do not
-// explode in cardinality over job ids.
+// requestID sanitises a client-supplied X-Request-Id into a usable trace
+// id, generating a fresh one when the header is missing or hostile
+// (overlong or holding characters that could break log lines or headers).
+func requestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return obs.NewTraceID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return obs.NewTraceID()
+		}
+	}
+	return id
+}
+
+// routeLabel normalises a request to its route pattern so metrics stay
+// bounded in cardinality: job and trace ids collapse to {id} placeholders
+// and unknown paths — scanners probing random URLs — collapse to "other"
+// instead of minting one counter per probe.
 func routeLabel(r *http.Request) string {
 	path := r.URL.Path
-	if strings.HasPrefix(path, "/v1/jobs/") {
-		path = "/v1/jobs/{id}"
+	switch {
+	case path == "/v1/jobs", path == "/v1/query", path == "/v1/metrics",
+		path == "/metrics", path == "/v1/traces", path == "/healthz":
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		if strings.HasSuffix(path, "/events") {
+			path = "/v1/jobs/{id}/events"
+		} else {
+			path = "/v1/jobs/{id}"
+		}
+	case strings.HasPrefix(path, "/v1/traces/"):
+		path = "/v1/traces/{id}"
+	default:
+		return "other"
 	}
 	return r.Method + " " + path
 }
@@ -475,7 +552,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	job, err := s.mgr.Submit(subject, algo, params, timeout)
+	job, err := s.mgr.Submit(r.Context(), subject, algo, params, timeout)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		apiError(w, http.StatusServiceUnavailable, "%v; retry later", err)
@@ -595,9 +672,126 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics implements GET /v1/metrics (and GET /metrics).
+// handleMetrics implements GET /v1/metrics (JSON).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
+}
+
+// handlePrometheus implements GET /metrics: the same snapshot in
+// Prometheus text exposition format for scrapers.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := writePrometheus(w, s.metrics.Snapshot(s.cache)); err != nil {
+		s.cfg.Logger.Warn("writing /metrics", "err", err)
+	}
+}
+
+// handleTraces implements GET /v1/traces: recent trace summaries, newest
+// first, capped by ?limit= (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			apiError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.ring.Traces(limit)})
+}
+
+// handleTrace implements GET /v1/traces/{id}: every retained span of one
+// trace, ordered by start time.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.ring.Trace(id)
+	if len(spans) == 0 {
+		apiError(w, http.StatusNotFound, "trace %q not found (or evicted from the span ring)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
+}
+
+// writeSSE frames one event in text/event-stream format; the data line is
+// the Event as JSON (type, job, seq, payload).
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// handleEvents implements GET /v1/jobs/{id}/events: the job's per-level
+// progress as Server-Sent Events. Levels completed before the client
+// connected are replayed from the job snapshot, then live events stream
+// until the job ends (an "end" event closes the stream) or the client
+// disconnects. Subscribing before snapshotting makes the hand-off
+// lossless; replayed levels arriving again on the live channel are
+// deduplicated by sequence number.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		apiError(w, http.StatusNotFound, "job %q not found", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub := s.events.Subscribe(id)
+	defer sub.Close()
+	snap := job.Snapshot()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	seen := 0
+	for i, lm := range snap.Progress {
+		if writeSSE(w, Event{Type: "level", Job: id, Seq: i + 1, Data: lm}) != nil {
+			return
+		}
+		seen = i + 1
+	}
+	if snap.State.Terminal() {
+		end := snap
+		end.Result, end.Progress = nil, nil
+		writeSSE(w, Event{Type: "end", Job: id, Seq: seen, Data: end})
+		fl.Flush()
+		return
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				// Dropped for lagging or server shutdown; the client
+				// reconnects and replays.
+				return
+			}
+			if ev.Type == "level" {
+				if ev.Seq <= seen {
+					continue // already replayed from the snapshot
+				}
+				seen = ev.Seq
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Type == "end" {
+				return
+			}
+		}
+	}
 }
 
 // handleHealthz implements GET /healthz. A degraded job store (journal
