@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check experiments verify examples clean
+.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check fuzz-short experiments verify examples clean
 
 all: build test
 
@@ -22,9 +22,10 @@ vet:
 race:
 	$(GO) test -race ./internal/async/ ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
 
-# The full pre-merge gate: build, vet, tests, and the race detector over
-# the concurrent packages.
-check: build vet test race bench-check
+# The full pre-merge gate: build, vet, tests, the race detector over
+# the concurrent packages, a short fuzz pass over the PIL invariants,
+# and the benchmark regression check.
+check: build vet test race fuzz-short bench-check
 
 cover:
 	$(GO) test -cover ./...
@@ -40,6 +41,15 @@ bench-baseline:
 # no baseline exists. Threshold: BENCH_MAX_REGRESSION_PCT (default 5).
 bench-check:
 	sh scripts/bench-check.sh
+
+# Short fuzz pass over the PIL list invariants (Join window semantics,
+# Merge support conservation, arena/heap join equivalence). Go allows one
+# -fuzz target per invocation, hence the three runs.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoin$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzMerge$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoinOracle$$' -fuzztime $(FUZZTIME)
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md).
 experiments:

@@ -171,7 +171,8 @@ func BenchmarkCaseStudy(b *testing.B) {
 // Micro-benchmarks of the core primitives.
 
 // BenchmarkPILJoin measures one prefix/suffix PIL join at the paper's
-// default scale.
+// default scale, arena-backed as in the miner's hot path (steady state
+// must report 0 allocs/op).
 func BenchmarkPILJoin(b *testing.B) {
 	s, err := permine.GenerateGenomeLike(1000, 1)
 	if err != nil {
@@ -185,9 +186,12 @@ func BenchmarkPILJoin(b *testing.B) {
 	if len(p1) == 0 || len(p2) == 0 {
 		b.Fatal("seed PILs empty")
 	}
+	var arena pil.Arena
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if got := pil.Join(p1, p2, benchGap); len(got) == 0 {
+		arena.Reset()
+		if got, sup := pil.JoinInto(&arena, p1, p2, benchGap); len(got) == 0 || sup == 0 {
 			b.Fatal("join vanished")
 		}
 	}

@@ -1,0 +1,85 @@
+package mine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	seqgen "permine/internal/gen"
+	"permine/internal/pil"
+)
+
+// benchLevelFixture builds the realistic DNA workload the level benchmark
+// runs on: a genome-like sequence (biased composition, so PIL sizes are
+// imbalanced across patterns) seeded at level 3.
+func benchLevelFixture(b *testing.B, length int) (*runner, []hatEntry) {
+	b.Helper()
+	s, err := seqgen.GenomeLike(length, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := combinat.Gap{N: 9, M: 12}
+	p, err := core.Params{Gap: g, MinSupport: 0, Workers: runtime.NumCPU()}.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := combinat.NewCounter(s.Len(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, err := pil.ScanKPacked(s, g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := &core.Result{Algorithm: core.AlgoMPP, Params: p, SeqLen: s.Len(), N: 10}
+	r := &runner{s: s, p: p, counter: counter, n: 10, res: res}
+	r.arenas = make([]pil.Arena, 2*r.workers())
+	hat := make([]hatEntry, 0, len(start))
+	for _, cl := range start {
+		hat = append(hat, hatEntry{code: cl.Code, list: cl.List, sup: cl.Sup})
+	}
+	return r, hat
+}
+
+// BenchmarkMineLevel measures one full level of the level-wise miner
+// (candidate generation + work-stealing support counting) on an
+// imbalanced level-3 DNA hat with Workers = NumCPU.
+func BenchmarkMineLevel(b *testing.B) {
+	r, hat := benchLevelFixture(b, 20000)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var st levelStats
+		cands := r.gen(hat, 3)
+		counted := r.countCandidates(ctx, 4, hat, cands, &st)
+		if r.err != nil {
+			b.Fatal(r.err)
+		}
+		if len(counted) == 0 {
+			b.Fatal("no candidates survived")
+		}
+	}
+}
+
+// BenchmarkMineE2E measures a full MPPm mining run end to end.
+func BenchmarkMineE2E(b *testing.B) {
+	s, err := seqgen.GenomeLike(2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{Gap: combinat.Gap{N: 9, M: 12}, MinSupport: 0.00003, EmOrder: 8, Workers: runtime.NumCPU()}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := MPPm(s, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package mine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/gen"
+	"permine/internal/mine"
+	"permine/internal/oracle"
+	"permine/internal/seq"
+)
+
+// TestDifferentialAllAlgorithms cross-checks the packed-code/arena mining
+// pipeline against the naive enumeration oracle over a grid of random
+// sequences and gap requirements: every algorithm must report exactly the
+// oracle's frequent set (chars and supports) within its completeness
+// range. This is the regression net for the allocation-free kernel — any
+// divergence in candidate generation, join windows or threshold handling
+// shows up as a missing or spurious pattern here.
+func TestDifferentialAllAlgorithms(t *testing.T) {
+	const maxLen = 5
+	configs := []struct {
+		seed   uint64
+		length int
+		g      combinat.Gap
+		rho    float64
+	}{
+		{1, 90, combinat.Gap{N: 0, M: 0}, 0.02},
+		{2, 120, combinat.Gap{N: 0, M: 2}, 0.01},
+		{3, 150, combinat.Gap{N: 1, M: 2}, 0.01},
+		{4, 100, combinat.Gap{N: 2, M: 4}, 0.02},
+		{5, 140, combinat.Gap{N: 3, M: 3}, 0.05},
+		{6, 110, combinat.Gap{N: 5, M: 6}, 0.02},
+		{7, 80, combinat.Gap{N: 4, M: 5}, 0.005},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		name := fmt.Sprintf("seed%d_L%d_gap%d-%d", cfg.seed, cfg.length, cfg.g.N, cfg.g.M)
+		t.Run(name, func(t *testing.T) {
+			s, err := gen.Uniform(seq.DNA, name, cfg.length, cfg.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.FrequentPatterns(s, cfg.g, cfg.rho, 3, maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := core.Params{Gap: cfg.g, MinSupport: cfg.rho}
+
+			p := base
+			p.MaxLen = maxLen
+			mpp, err := mine.MPP(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePatterns(t, "MPP vs oracle", mpp.Patterns, want, 3, maxLen)
+
+			p = base
+			p.EmOrder = 6
+			mppm, err := mine.MPPm(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upper := maxLen
+			if mppm.N < upper {
+				upper = mppm.N
+			}
+			comparePatterns(t, "MPPm vs oracle", mppm.Patterns, want, 3, upper)
+
+			p = base
+			p.MaxLen = 4
+			ada, err := mine.Adaptive(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upper = maxLen
+			if fin := ada.Rounds[len(ada.Rounds)-1]; fin < upper {
+				upper = fin
+			}
+			comparePatterns(t, "adaptive vs oracle", ada.Patterns, want, 3, upper)
+
+			// The no-pruning baseline grows exponentially with the
+			// window, so cap its physical work and only require the
+			// completed levels to cover the oracle's range (3..maxLen).
+			p = base
+			p.CandidateBudget = 200_000
+			enum, err := mine.Enumerate(s, p)
+			if err != nil && !errors.Is(err, core.ErrBudgetExceeded) {
+				t.Fatal(err)
+			}
+			last := enum.Levels[len(enum.Levels)-1].Level
+			if last < maxLen {
+				t.Fatalf("enumerate budget too small: stopped at level %d", last)
+			}
+			comparePatterns(t, "enumerate vs oracle", enum.Patterns, want, 3, maxLen)
+		})
+	}
+}
+
+// TestWidePathCrossesPackedCapacity mines past the alphabet's packed-code
+// capacity (a 100-symbol alphabet fits only 9 characters in a uint64), so
+// the miner must switch to its wide character-keyed path mid-run. The
+// subject plants a 20-symbol block ten times among random filler with gap
+// [0,0], making the block's substrings the only frequent patterns; the
+// mined set is checked level by level against a quadratic substring
+// counter for lengths 3 through 20 — spanning the packed-to-wide
+// transition at length 10.
+func TestWidePathCrossesPackedCapacity(t *testing.T) {
+	symbols := make([]byte, 100)
+	for i := range symbols {
+		symbols[i] = byte(0x21 + i)
+	}
+	alpha, err := seq.NewAlphabet("wide100", string(symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alpha.MaxPackedLen(); got != 9 {
+		t.Fatalf("MaxPackedLen = %d, want 9 (100^9 < 2^64 <= 100^10)", got)
+	}
+
+	// Deterministic xorshift filler; the planted block repeats verbatim.
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	block := make([]byte, 20)
+	for i := range block {
+		block[i] = symbols[next(100)]
+	}
+	var data []byte
+	for rep := 0; rep < 10; rep++ {
+		data = append(data, block...)
+		for i := 0; i < 40; i++ {
+			data = append(data, symbols[next(100)])
+		}
+	}
+	s, err := seq.New(alpha, "wide", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := combinat.Gap{N: 0, M: 0}
+	const rho = 0.015
+	res, err := mine.MPP(s, core.Params{Gap: g, MinSupport: rho, MaxLen: 24, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quadratic reference: with gap [0,0] a pattern's support is its
+	// count as a contiguous substring.
+	for l := 3; l <= 20; l++ {
+		counts := map[string]int64{}
+		for x := 0; x+l <= len(data); x++ {
+			counts[string(data[x:x+l])]++
+		}
+		nl := float64(len(data) - l + 1)
+		var want []core.Pattern
+		for chars, sup := range counts {
+			if float64(sup) >= rho*nl*(1-1e-12) {
+				want = append(want, core.Pattern{Chars: chars, Support: sup})
+			}
+		}
+		if l <= 20 && len(want) == 0 {
+			t.Fatalf("length %d: reference found no frequent substrings; fixture broken", l)
+		}
+		comparePatterns(t, fmt.Sprintf("wide l=%d", l), res.Patterns, want, l, l)
+	}
+	maxMined := 0
+	for _, p := range res.Patterns {
+		if len(p.Chars) > maxMined {
+			maxMined = len(p.Chars)
+		}
+	}
+	if maxMined <= alpha.MaxPackedLen() {
+		t.Fatalf("longest mined pattern %d never crossed packed capacity %d", maxMined, alpha.MaxPackedLen())
+	}
+}

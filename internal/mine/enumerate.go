@@ -74,13 +74,19 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	if work += seedWork; work > p.CandidateBudget {
 		return finish(true)
 	}
-	startPILs, err := pil.ScanK(s, p.Gap, i)
+	start3, err := pil.ScanKPacked(s, p.Gap, i)
 	if err != nil {
 		return nil, err
 	}
-	nonzero := startPILs
+	nonzero := make(map[string]pil.List, len(start3))
+	sups := make(map[string]int64, len(start3))
+	for _, cl := range start3 {
+		chars := s.Alphabet().DecodePacked(cl.Code, i)
+		nonzero[chars] = cl.List
+		sups[chars] = cl.Sup
+	}
 	r := &runner{s: s, p: p, counter: counter, n: counter.L2(), res: res}
-	recordEnumLevel(r, i, sigmaPow(i), nonzero, levelStats{})
+	recordEnumLevel(r, i, sigmaPow(i), nonzero, sups, levelStats{})
 
 	for len(nonzero) > 0 {
 		next := i + 1
@@ -96,6 +102,7 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		levelStart := time.Now()
 		var st levelStats
 		nextPILs := make(map[string]pil.List)
+		nextSups := make(map[string]int64)
 		// Extend every non-zero pattern by every symbol; the
 		// candidate's PIL joins prefix (the pattern) with suffix
 		// (pattern[1:] + symbol), which must itself be non-zero.
@@ -117,16 +124,18 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 				cand := p1 + string(s.Alphabet().Symbol(c))
 				st.joins++
 				st.entries += int64(len(nonzero[p1]) + len(sufList))
-				list := pil.Join(nonzero[p1], sufList, p.Gap)
+				list, sup := pil.JoinInto(nil, nonzero[p1], sufList, p.Gap)
 				if len(list) > 0 {
 					nextPILs[cand] = list
+					nextSups[cand] = sup
 				}
 			}
 		}
 		st.count = time.Since(levelStart)
-		recordEnumLevel(r, next, sigmaPow(next), nextPILs, st)
+		recordEnumLevel(r, next, sigmaPow(next), nextPILs, nextSups, st)
 		res.Levels[len(res.Levels)-1].Elapsed += time.Since(levelStart)
 		nonzero = nextPILs
+		sups = nextSups
 		i = next
 	}
 	return finish(false)
@@ -134,8 +143,9 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 
 // recordEnumLevel records metrics and frequent patterns for one
 // enumeration level. Candidates is the analytic |Σ|^i charge (saturated to
-// int64 range).
-func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List, st levelStats) {
+// int64 range); sups holds each pattern's support, computed during the
+// join pass so no list is re-scanned here.
+func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List, sups map[string]int64, st levelStats) {
 	nl := r.counter.NlFloat(i)
 	thFreq := r.p.MinSupport * nl
 	var frequent int64
@@ -145,7 +155,7 @@ func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List
 	}
 	sort.Strings(pats)
 	for _, chars := range pats {
-		sup := pils[chars].Support()
+		sup := sups[chars]
 		if meets(sup, thFreq) {
 			frequent++
 			r.res.Patterns = append(r.res.Patterns, core.Pattern{

@@ -5,9 +5,12 @@
 package mine
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"runtime/pprof"
+	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +29,13 @@ func meets(sup int64, threshold float64) bool {
 }
 
 // runner drives one level-wise mining pass shared by MPP and MPPm.
+//
+// The level kernel is allocation-free in steady state: patterns travel as
+// packed uint64 codes (decoded to characters only when a frequent pattern
+// is emitted), candidate generation is a linear merge over code-sorted
+// slices, and every join output is carved from per-worker pil.Arena slabs
+// recycled double-buffered across levels. The scratch slices below are
+// reused from level to level for the same reason.
 type runner struct {
 	s       *seq.Sequence
 	p       core.Params
@@ -33,6 +43,53 @@ type runner struct {
 	n       int // effective longest-pattern estimate (clamped to l1)
 	res     *core.Result
 	err     error // set when a level is aborted (e.g. overflow guard)
+
+	// wide is set once the pattern length exceeds the alphabet's packed-
+	// code capacity (seq.Alphabet.MaxPackedLen); beyond it hat entries are
+	// keyed by explicit character strings instead of uint64 codes.
+	wide bool
+
+	arenas []pil.Arena  // two per worker: arenas[2*w+parity(level)]
+	cumScr []cumScratch // one per worker: cached suffix-run CumTables
+
+	// Per-level scratch, reused across levels.
+	hatBuf    [2][]hatEntry // double-buffered hat storage
+	cands     []candidate
+	joined    []countedList
+	groups    []groupRun
+	spans     [][2]int32
+	spanStart []int32
+	order     []int32
+	prefU     []uint64 // packed prefix/suffix keys of the current hat
+	sufU      []uint64
+	prefS     []string // character prefix/suffix keys (wide levels)
+	sufS      []string
+}
+
+// hatEntry is one pattern of L̂i: its identity (packed code, or chars on
+// wide levels), its PIL and its support. A level's hat is sorted by
+// pattern (ascending code, or ascending chars when wide).
+type hatEntry struct {
+	code  uint64
+	chars string // set only on wide levels
+	list  pil.List
+	sup   int64
+}
+
+// candidate is a level-(i+1) candidate pattern: its parents P1 = prefix
+// and P2 = suffix as indices into the current hat, plus its packed code
+// (unused on wide levels, where the chars are derived from the parents
+// only for candidates that survive counting).
+type candidate struct {
+	code   uint64
+	prefix int32
+	suffix int32
+}
+
+// countedList is the join output for one candidate.
+type countedList struct {
+	list pil.List
+	sup  int64
 }
 
 // supportCountLimit is the Nl ceiling beyond which int64 support counts
@@ -49,10 +106,17 @@ func (r *runner) checkOverflow(level int) error {
 	return nil
 }
 
-// cancelBatch is how many candidate joins are counted between context
-// checks. Joins on realistic sequences take microseconds, so a batch keeps
-// the check overhead invisible while bounding cancellation latency well
-// below one level.
+// stealBatch is how many prefix groups a counting worker claims per grab
+// of the shared work index. A group is one prefix pattern with all of its
+// extension candidates (at most |Σ|), so a batch is on the order of
+// 64·|Σ| candidates. Batches keep the atomic traffic and context checks
+// invisible next to the joins while still letting workers steal around
+// groups with unusually large PILs; the context is checked once per
+// batch, bounding cancellation latency well below one level.
+const stealBatch = 16
+
+// cancelBatch is the candidate stride between context checks in the
+// sequential enumeration baseline.
 const cancelBatch = 256
 
 // cancelled wraps a context error observed at the given level into the
@@ -68,13 +132,6 @@ func (r *runner) lambda(i int) float64 {
 		return 1
 	}
 	return r.counter.Lambda(r.n, r.n-i)
-}
-
-// patternEntry pairs a candidate pattern with its PIL and support.
-type patternEntry struct {
-	chars string
-	list  pil.List
-	sup   int64
 }
 
 // levelStats accumulates the physical counting work of one level, feeding
@@ -106,12 +163,14 @@ func annotateLevelSpan(span *obs.Span, lm core.LevelMetrics) {
 }
 
 // run executes the level loop starting from the given start-level PILs
-// (pattern chars -> PIL, zero-support patterns absent). It fills
-// r.res.Patterns and r.res.Levels.
-func (r *runner) run(startPILs map[string]pil.List) {
+// (code-sorted, zero-support patterns absent). It fills r.res.Patterns
+// and r.res.Levels.
+func (r *runner) run(start []pil.CodeList) {
 	ctx := r.p.Context()
 	i := r.p.StartLen
-	alphaN := int64(r.s.Alphabet().Size())
+	alpha := r.s.Alphabet()
+	alphaN := int64(alpha.Size())
+	r.arenas = make([]pil.Arena, 2*r.workers())
 
 	// Level StartLen: every |Σ|^StartLen combination is a candidate
 	// (built by direct scan, so the candidate count is analytic).
@@ -119,14 +178,17 @@ func (r *runner) run(startPILs map[string]pil.List) {
 	for k := 0; k < i; k++ {
 		candCount *= alphaN
 	}
-	entries := make([]patternEntry, 0, len(startPILs))
-	for chars, list := range startPILs {
-		entries = append(entries, patternEntry{chars: chars, list: list, sup: list.Support()})
+	hat := r.hatBuf[i&1][:0]
+	for _, cl := range start {
+		hat = append(hat, hatEntry{code: cl.Code, list: cl.List, sup: cl.Sup})
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].chars < entries[b].chars })
+	r.hatBuf[i&1] = hat
+	if i > alpha.MaxPackedLen() { // StartLen beyond capacity: widen the seed
+		r.widen(hat, i)
+	}
 
 	_, seedSpan := obs.Start(ctx, "mine.level")
-	hat := r.collectLevel(i, candCount, entries, levelStats{})
+	hat = r.collectLevel(i, candCount, hat, levelStats{})
 	annotateLevelSpan(seedSpan, r.res.Levels[len(r.res.Levels)-1])
 	seedSpan.End()
 
@@ -143,10 +205,13 @@ func (r *runner) run(startPILs map[string]pil.List) {
 			r.err = err
 			break
 		}
+		if !r.wide && next > alpha.MaxPackedLen() {
+			r.widen(hat, i)
+		}
 		lctx, span := obs.Start(ctx, "mine.level")
 		levelStart := time.Now()
 		var st levelStats
-		cands := gen(hat)
+		cands := r.gen(hat, i)
 		st.gen = time.Since(levelStart)
 		countStart := time.Now()
 		counted := r.countCandidates(lctx, next, hat, cands, &st)
@@ -166,31 +231,56 @@ func (r *runner) run(startPILs map[string]pil.List) {
 	}
 }
 
+// workers returns the effective counting worker count (>= 1).
+func (r *runner) workers() int {
+	if r.p.Workers < 1 {
+		return 1
+	}
+	return r.p.Workers
+}
+
+// widen decodes the packed codes of a length-k hat into character strings
+// and switches the runner to the wide (string-keyed) path: the next level
+// would not fit a uint64 code. Character order equals code order, so the
+// hat stays sorted under its new keys.
+func (r *runner) widen(hat []hatEntry, k int) {
+	alpha := r.s.Alphabet()
+	for j := range hat {
+		hat[j].chars = alpha.DecodePacked(hat[j].code, k)
+	}
+	r.wide = true
+}
+
 // collectLevel applies the Li / L̂i thresholds to the counted entries of
-// level i, records metrics and frequent patterns, and returns L̂i as a map
-// for candidate generation. entries holds only non-zero-support
-// candidates; the gap to candidates is the level's zero-support count.
-func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry, st levelStats) map[string]pil.List {
+// level i, records metrics and frequent patterns, and returns L̂i
+// (compacted in place) for candidate generation. entries holds only
+// non-zero-support candidates in pattern order; the gap to candidates is
+// the level's zero-support count.
+func (r *runner) collectLevel(i int, candidates int64, entries []hatEntry, st levelStats) []hatEntry {
 	start := time.Now()
+	alpha := r.s.Alphabet()
 	nl := r.counter.NlFloat(i)
 	lam := r.lambda(i)
 	thFreq := r.p.MinSupport * nl
 	thHat := lam * thFreq
 
-	hat := make(map[string]pil.List)
-	var frequent, kept int64
+	kept := entries[:0]
+	var frequent int64
 	for _, e := range entries {
 		if meets(e.sup, thFreq) {
 			frequent++
+			chars := e.chars
+			if !r.wide {
+				chars = alpha.DecodePacked(e.code, i)
+			}
 			r.res.Patterns = append(r.res.Patterns, core.Pattern{
-				Chars:   e.chars,
+				Chars:   chars,
 				Support: e.sup,
 				Ratio:   float64(e.sup) / nl,
 			})
 		}
 		if meets(e.sup, thHat) {
-			kept++
-			hat[e.chars] = e.list
+			kept = append(kept, e)
 		}
 	}
 	zero := candidates - int64(len(entries))
@@ -201,8 +291,8 @@ func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry, s
 		Level:          i,
 		Candidates:     candidates,
 		Frequent:       frequent,
-		Kept:           kept,
-		PrunedByLambda: int64(len(entries)) - kept,
+		Kept:           int64(len(kept)),
+		PrunedByLambda: int64(len(entries)) - int64(len(kept)),
 		ZeroSupport:    zero,
 		PILJoins:       st.joins,
 		PILEntries:     st.entries,
@@ -213,91 +303,293 @@ func (r *runner) collectLevel(i int, candidates int64, entries []patternEntry, s
 	}
 	r.res.Levels = append(r.res.Levels, lm)
 	r.p.ReportLevel(lm)
-	return hat
-}
-
-// candidate is a level-(i+1) candidate pattern with its two parents in L̂i.
-type candidate struct {
-	chars  string
-	prefix string // parent P1 = prefix(cand)
-	suffix string // parent P2 = suffix(cand)
+	return kept
 }
 
 // gen implements Gen(L̂i): join every P1, P2 in L̂i with
-// suffix(P1) == prefix(P2) into the candidate P1[0] + P2. The result is
-// sorted for determinism.
-func gen(hat map[string]pil.List) []candidate {
-	byPrefix := make(map[string][]string, len(hat))
-	pats := make([]string, 0, len(hat))
-	for chars := range hat {
-		pats = append(pats, chars)
-		byPrefix[chars[:len(chars)-1]] = append(byPrefix[chars[:len(chars)-1]], chars)
+// suffix(P1) == prefix(P2) into the candidate P1[0] + P2. The hat is
+// sorted by pattern, so entries sharing a (k−1)-prefix form contiguous
+// runs; genSpans matches every P1's suffix against those runs with one
+// integer sort and a linear merge — no maps, no string sorts — and the
+// emission loop below yields candidates already in pattern order (the
+// candidate P1·c inherits P1's rank, then the extension symbol's).
+func (r *runner) gen(hat []hatEntry, k int) []candidate {
+	n := len(hat)
+	r.spans = sliceFor(r.spans, n)
+	r.order = sliceFor(r.order, n)
+	if r.wide {
+		r.prefS = sliceFor(r.prefS, n)
+		r.sufS = sliceFor(r.sufS, n)
+		for j, e := range hat {
+			r.prefS[j] = e.chars[:k-1]
+			r.sufS[j] = e.chars[1:]
+		}
+		genSpans(r.prefS, r.sufS, r.order, r.spans)
+	} else {
+		sigma := uint64(r.s.Alphabet().Size())
+		powKm1 := uint64(1)
+		for j := 1; j < k; j++ {
+			powKm1 *= sigma
+		}
+		r.prefU = sliceFor(r.prefU, n)
+		r.sufU = sliceFor(r.sufU, n)
+		for j, e := range hat {
+			r.prefU[j] = e.code / sigma
+			r.sufU[j] = e.code % powKm1
+		}
+		genSpans(r.prefU, r.sufU, r.order, r.spans)
 	}
-	sort.Strings(pats)
-	for _, v := range byPrefix {
-		sort.Strings(v)
-	}
-	var out []candidate
-	for _, p1 := range pats {
-		for _, p2 := range byPrefix[p1[1:]] {
-			out = append(out, candidate{chars: p1[:1] + p2, prefix: p1, suffix: p2})
+
+	sigma := uint64(r.s.Alphabet().Size())
+	cands := r.cands[:0]
+	for i1 := range hat {
+		lo, hi := r.spans[i1][0], r.spans[i1][1]
+		for j := lo; j < hi; j++ {
+			c := candidate{prefix: int32(i1), suffix: j}
+			if !r.wide {
+				c.code = hat[i1].code*sigma + hat[j].code%sigma
+			}
+			cands = append(cands, c)
 		}
 	}
-	return out
+	r.cands = cands
+
+	// Counting order: candidates are stored in pattern order (prefix-major
+	// over the hat), but the counting loop walks groups sorted by the
+	// prefix's *suffix key* — r.order, a by-product of the span merge. All
+	// groups sharing a suffix key join against the same contiguous run of
+	// suffix PILs, so visiting them back to back keeps that run cache-hot
+	// instead of re-fetching it from memory once per extension symbol.
+	groups := r.groups[:0]
+	candStart := int32(0)
+	r.spanStart = sliceFor(r.spanStart, n)
+	for i1 := range hat {
+		r.spanStart[i1] = candStart
+		candStart += r.spans[i1][1] - r.spans[i1][0]
+	}
+	// uses counts the groups sharing each suffix run: r.order puts equal
+	// suffix keys back to back, and distinct keys have disjoint prefix
+	// runs, so runs of an identical span in this walk are exactly the
+	// groups that will join against the same suffix PILs. countCandidates
+	// uses the count to decide whether building a pil.CumTable for those
+	// PILs pays for itself.
+	curSpan := [2]int32{-1, -1}
+	runStart := 0
+	flush := func(end int) {
+		for j := runStart; j < end; j++ {
+			groups[j].uses = int32(end - runStart)
+		}
+	}
+	for _, i1 := range r.order {
+		lo, hi := r.spans[i1][0], r.spans[i1][1]
+		if hi > lo {
+			if sp := (r.spans[i1]); sp != curSpan {
+				flush(len(groups))
+				runStart = len(groups)
+				curSpan = sp
+			}
+			s := r.spanStart[i1]
+			groups = append(groups, groupRun{prefix: i1, start: s, end: s + (hi - lo)})
+		}
+	}
+	flush(len(groups))
+	r.groups = groups
+	return cands
+}
+
+// sliceFor resizes buf to length n, reusing its backing array.
+func sliceFor[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// genSpans computes, for every hat index i, the contiguous run [lo, hi)
+// of hat indices whose (k−1)-prefix key equals i's (k−1)-suffix key —
+// i.e. the set of P2 parents joinable after P1 = hat[i]. prefixes is
+// ascending (the hat is pattern-sorted); suffixes is matched against it
+// by sorting the index vector order and merging, O(n log n) integer or
+// string-slice work with no hashing.
+func genSpans[K cmp.Ordered](prefixes, suffixes []K, order []int32, spans [][2]int32) {
+	n := len(prefixes)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := cmp.Compare(suffixes[a], suffixes[b]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	oi := 0
+	for gi := 0; gi < n; {
+		ge := gi + 1
+		for ge < n && prefixes[ge] == prefixes[gi] {
+			ge++
+		}
+		for oi < n && suffixes[order[oi]] < prefixes[gi] {
+			spans[order[oi]] = [2]int32{0, 0}
+			oi++
+		}
+		for oi < n && suffixes[order[oi]] == prefixes[gi] {
+			spans[order[oi]] = [2]int32{int32(gi), int32(ge)}
+			oi++
+		}
+		gi = ge
+	}
+	for ; oi < n; oi++ {
+		spans[order[oi]] = [2]int32{0, 0}
+	}
+}
+
+// groupRun is one prefix group of the candidate list: cands[start:end)
+// all extend the same parent P1 = hat[prefix], so they share P1's PIL as
+// join prefix. gen emits groups sorted by P1's suffix key (see the
+// counting-order note there), not by candidate position; uses is the
+// number of consecutive groups joining against the same suffix run.
+type groupRun struct {
+	prefix     int32
+	start, end int32
+	uses       int32
+}
+
+// cumScratch is one counting worker's cached cumulative-support tables
+// for the suffix run of the group it is processing (indexed by position
+// within the run; use marks runs' lists dense enough to table).
+type cumScratch struct {
+	tables []pil.CumTable
+	use    []bool
+}
+
+// maxCumSpan caps a CumTable's X span (8 MiB of int64 per table) so a
+// pathological dense-and-long list cannot balloon worker memory.
+const maxCumSpan = 1 << 20
+
+// cumWorthwhile reports whether joining uses candidates against suffix
+// list s is faster through a cumulative table than through the two-
+// pointer window scan: the O(span) build must amortize over the O(|s|)
+// window work it replaces in each of the uses joins.
+func cumWorthwhile(s pil.List, uses int32) bool {
+	span := int(s[len(s)-1].X) - int(s[0].X) + 1
+	return span <= maxCumSpan && span <= 4*int(uses)*len(s)
 }
 
 // countCandidates computes the PIL and support of every candidate by
-// joining the parents' PILs, optionally fanning out over Params.Workers
-// goroutines. Entries with zero support are dropped; order follows cands.
-// The join and entry-scan counts are accumulated into st.
+// joining the parents' PILs, fanning out over Params.Workers goroutines
+// that claim stealBatch-sized runs of prefix groups from a shared atomic
+// index (so a worker stuck on oversized PILs never idles the rest).
 //
-// The context is checked every cancelBatch candidates (in every worker);
-// on cancellation counting stops early, r.err is set to a typed
-// core.CancelledError and nil is returned — partial counts are never
-// reported as results.
-func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]pil.List, cands []candidate, st *levelStats) []patternEntry {
-	results := make([]patternEntry, len(cands))
+// Groups are walked in the suffix-key order prepared by gen: all groups
+// sharing a suffix key join against the same contiguous run of suffix
+// PILs, so consecutive groups hit warm cache lines instead of streaming
+// every suffix list from memory once per extension symbol. Results are
+// still written at each candidate's own index, so the output order (and
+// therefore the mined result) is independent of the walk order and of
+// how workers interleave.
+//
+// Join outputs land in the claiming worker's arena for the level's
+// parity; every arena of that parity holds only lists dead since two
+// levels ago and is reset here before counting starts. Workers carry
+// pprof labels (permine_phase/permine_level) so CPU profiles taken via
+// -pprof-addr attribute time to mining phases.
+//
+// Entries with zero support are dropped; order follows cands. The
+// context is checked every batch (in every worker); on cancellation
+// counting stops early, r.err is set to a typed core.CancelledError and
+// nil is returned — partial counts are never reported as results.
+func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry, cands []candidate, st *levelStats) []hatEntry {
+	n := len(cands)
+	r.joined = sliceFor(r.joined, n)
+	joined := r.joined
+	groups := r.groups
+	parity := level & 1
+	workers := r.workers()
+	if len(r.cumScr) < workers {
+		r.cumScr = make([]cumScratch, workers)
+	}
+	for w := 0; w < workers; w++ {
+		r.arenas[2*w+parity].Reset()
+	}
+	gap := r.p.Gap
+
 	var stop atomic.Bool
+	var nextIdx atomic.Int64
 	var joins, entries atomic.Int64
-	work := func(from, to int) {
+	work := func(w int) {
+		arena := &r.arenas[2*w+parity]
+		sc := &r.cumScr[w]
+		curLo, curW := int32(-1), int32(-1)
 		var nJoins, nEntries int64
 		defer func() {
 			joins.Add(nJoins)
 			entries.Add(nEntries)
 		}()
-		for idx := from; idx < to; idx++ {
-			if idx%cancelBatch == 0 {
-				if stop.Load() {
-					return
+		for {
+			if stop.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			from := int(nextIdx.Add(stealBatch)) - stealBatch
+			if from >= len(groups) {
+				return
+			}
+			to := from + stealBatch
+			if to > len(groups) {
+				to = len(groups)
+			}
+			for gi := from; gi < to; gi++ {
+				g := groups[gi]
+				spanLo, width := cands[g.start].suffix, g.end-g.start
+				if spanLo != curLo || width != curW {
+					// New suffix run: decide per list whether a
+					// cumulative table pays off, and build the ones
+					// that do. Runs repeat across consecutive groups
+					// (gen's suffix-key order), so this amortizes.
+					curLo, curW = spanLo, width
+					for int32(len(sc.tables)) < width {
+						sc.tables = append(sc.tables, pil.CumTable{})
+						sc.use = append(sc.use, false)
+					}
+					for j := int32(0); j < width; j++ {
+						s := hat[spanLo+j].list
+						sc.use[j] = cumWorthwhile(s, g.uses)
+						if sc.use[j] {
+							sc.tables[j].Build(s)
+						}
+					}
 				}
-				if ctx.Err() != nil {
-					stop.Store(true)
-					return
+				prefix := hat[g.prefix].list
+				for idx := g.start; idx < g.end; idx++ {
+					suffix := hat[cands[idx].suffix].list
+					var list pil.List
+					var sup int64
+					if j := idx - g.start; sc.use[j] {
+						list, sup = pil.JoinCum(arena, prefix, &sc.tables[j], gap)
+					} else {
+						list, sup = pil.JoinInto(arena, prefix, suffix, gap)
+					}
+					joined[idx] = countedList{list: list, sup: sup}
+					nJoins++
+					nEntries += int64(len(prefix) + len(suffix))
 				}
 			}
-			c := cands[idx]
-			prefix, suffix := hat[c.prefix], hat[c.suffix]
-			nJoins++
-			nEntries += int64(len(prefix) + len(suffix))
-			list := pil.Join(prefix, suffix, r.p.Gap)
-			results[idx] = patternEntry{chars: c.chars, list: list, sup: list.Support()}
 		}
 	}
-	if r.p.Workers <= 1 || len(cands) < 64 {
-		work(0, len(cands))
+	if workers <= 1 || len(groups) < stealBatch {
+		work(0)
 	} else {
+		labels := pprof.Labels("permine_phase", "count", "permine_level", strconv.Itoa(level))
 		var wg sync.WaitGroup
-		chunk := (len(cands) + r.p.Workers - 1) / r.p.Workers
-		for from := 0; from < len(cands); from += chunk {
-			to := from + chunk
-			if to > len(cands) {
-				to = len(cands)
-			}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(from, to int) {
+			go func(w int) {
 				defer wg.Done()
-				work(from, to)
-			}(from, to)
+				pprof.Do(ctx, labels, func(context.Context) { work(w) })
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -307,11 +599,17 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat map[string]
 		r.err = r.cancelled(level, err)
 		return nil
 	}
-	out := results[:0]
-	for _, e := range results {
-		if e.sup > 0 {
-			out = append(out, e)
+	out := r.hatBuf[level&1][:0]
+	for idx, c := range cands {
+		if joined[idx].sup <= 0 {
+			continue
 		}
+		e := hatEntry{code: c.code, list: joined[idx].list, sup: joined[idx].sup}
+		if r.wide {
+			e.chars = hat[c.prefix].chars[:1] + hat[c.suffix].chars
+		}
+		out = append(out, e)
 	}
+	r.hatBuf[level&1] = out
 	return out
 }

@@ -45,11 +45,11 @@ func MPP(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	}
 	r := &runner{s: s, p: p, counter: counter, n: n, res: res}
 
-	startPILs, err := pil.ScanK(s, p.Gap, p.StartLen)
+	start3, err := pil.ScanKPacked(s, p.Gap, p.StartLen)
 	if err != nil {
 		return nil, err
 	}
-	r.run(startPILs)
+	r.run(start3)
 	if r.err != nil {
 		return nil, r.err
 	}

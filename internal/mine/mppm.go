@@ -33,11 +33,11 @@ func MPPm(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		return nil, err
 	}
 
-	startPILs, err := pil.ScanK(s, p.Gap, p.StartLen)
+	start3, err := pil.ScanKPacked(s, p.Gap, p.StartLen)
 	if err != nil {
 		return nil, err
 	}
-	n := estimateN(counter, p, startPILs, em)
+	n := estimateN(counter, p, start3, em)
 
 	res := &core.Result{
 		Algorithm: core.AlgoMPPm,
@@ -50,7 +50,7 @@ func MPPm(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		EmOrder:   p.EmOrder,
 	}
 	r := &runner{s: s, p: p, counter: counter, n: n, res: res}
-	r.run(startPILs)
+	r.run(start3)
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -65,11 +65,11 @@ func MPPm(s *seq.Sequence, params core.Params) (*core.Result, error) {
 // length-StartLen pattern has support at least
 // λ'(k, k−StartLen) · ρs · N_StartLen (Theorem 2 applied to the pattern's
 // StartLen-character prefix). n is the largest k passing the test.
-func estimateN(counter *combinat.Counter, p core.Params, startPILs map[string]pil.List, em int64) int {
+func estimateN(counter *combinat.Counter, p core.Params, start []pil.CodeList, em int64) int {
 	var maxSup int64
-	for _, list := range startPILs {
-		if sup := list.Support(); sup > maxSup {
-			maxSup = sup
+	for _, cl := range start {
+		if cl.Sup > maxSup {
+			maxSup = cl.Sup
 		}
 	}
 	k0 := p.StartLen

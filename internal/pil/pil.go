@@ -19,7 +19,6 @@ import (
 	"sort"
 
 	"permine/internal/combinat"
-	"permine/internal/seq"
 )
 
 // Entry is one (x, y) pair of a PIL: y offset sequences begin at position x.
@@ -60,122 +59,55 @@ func (p List) Validate() error {
 // counts y' over x' with x' - x - 1 in [N, M], and emit (x, t) when t > 0.
 //
 // The pass is O(|prefix| + |suffix|) using a sliding window over the
-// sorted suffix list.
+// sorted suffix list. The miner's hot path uses JoinInto instead, which
+// reuses arena slabs and returns the support without a second pass.
 func Join(prefix, suffix List, g combinat.Gap) List {
+	out, _ := JoinInto(nil, prefix, suffix, g)
+	return out
+}
+
+// JoinInto is Join with the output list reserved from arena a (a == nil
+// falls back to a heap allocation) and the joined support — the sum of
+// all emitted counts — computed in the same pass, so callers never need a
+// separate Support() re-scan. In steady state (slabs recycled via Reset)
+// an arena-backed join performs zero allocations.
+func JoinInto(a *Arena, prefix, suffix List, g combinat.Gap) (List, int64) {
 	if len(prefix) == 0 || len(suffix) == 0 {
-		return nil
+		return nil, 0
 	}
-	out := make(List, 0, len(prefix))
+	var out List
+	if a != nil {
+		out = a.Reserve(len(prefix))
+	} else {
+		out = make(List, 0, len(prefix))
+	}
 	lo, hi := 0, 0 // suffix window [lo, hi): entries with X in [x+N+1, x+M+1]
-	var window int64
+	var window, sup int64
 	for _, e := range prefix {
-		minX := e.X + int32(g.N) + 1
-		maxX := e.X + int32(g.M) + 1
-		for hi < len(suffix) && suffix[hi].X <= maxX {
+		// The window bounds are computed in int, not int32: positions fit
+		// int32, but x + M + 1 near the sequence tail overflows int32 when
+		// M approaches MaxInt32 (and int32(g.M) would truncate larger M
+		// outright), wrapping maxX negative and silently emptying the
+		// window. See TestJoinTailOverflow.
+		minX := int(e.X) + g.N + 1
+		maxX := int(e.X) + g.M + 1
+		for hi < len(suffix) && int(suffix[hi].X) <= maxX {
 			window += suffix[hi].Y
 			hi++
 		}
-		for lo < hi && suffix[lo].X < minX {
+		for lo < hi && int(suffix[lo].X) < minX {
 			window -= suffix[lo].Y
 			lo++
 		}
-		if lo > hi { // never happens: kept for clarity of the invariant
-			lo = hi
-		}
 		if window > 0 {
 			out = append(out, Entry{X: e.X, Y: window})
+			sup += window
 		}
 	}
-	return out
-}
-
-// Singles builds the length-1 PILs of every alphabet symbol occurring in s:
-// result[code] lists each position of the symbol with count 1.
-func Singles(s *seq.Sequence) []List {
-	out := make([]List, s.Alphabet().Size())
-	for i, code := range s.Codes() {
-		out[code] = append(out[code], Entry{X: int32(i), Y: 1})
+	if a != nil {
+		a.Commit(len(out))
 	}
-	return out
-}
-
-// ScanK builds the PILs of every length-k pattern with non-zero support by
-// direct scanning, for small k (the miner uses k = 3 to seed level 3, per
-// the paper's observation that length-1/2 patterns are uninteresting).
-// Keys of the returned map are pattern character strings.
-//
-// Cost is O(L · W^(k-1)).
-func ScanK(s *seq.Sequence, g combinat.Gap, k int) (map[string]List, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("pil: scan length %d must be >= 1", k)
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	alpha := s.Alphabet()
-	if k > 8 && pow(alpha.Size(), k) > 1<<26 {
-		return nil, fmt.Errorf("pil: direct scan of length-%d patterns over %d symbols is too large; use the miner's level-wise joins", k, alpha.Size())
-	}
-	codes := s.Codes()
-	size := alpha.Size()
-
-	// For each start x we count, per packed pattern code, the number of
-	// offset sequences starting at x; counts are collected in a small
-	// scratch slice (at most W^(k-1) distinct patterns per start).
-	type acc struct {
-		key uint64
-		n   int64
-	}
-	scratch := make([]acc, 0, 64)
-	lists := make(map[uint64]*List)
-
-	var walk func(pos int, depth int, key uint64)
-	walk = func(pos int, depth int, key uint64) {
-		key = key*uint64(size) + uint64(codes[pos])
-		if depth == k {
-			for i := range scratch {
-				if scratch[i].key == key {
-					scratch[i].n++
-					return
-				}
-			}
-			scratch = append(scratch, acc{key: key, n: 1})
-			return
-		}
-		lo := pos + g.N + 1
-		hi := pos + g.M + 1
-		if hi >= len(codes) {
-			hi = len(codes) - 1
-		}
-		for next := lo; next <= hi; next++ {
-			walk(next, depth+1, key)
-		}
-	}
-
-	for x := 0; x+combinat.MinSpan(k, g) <= len(codes); x++ {
-		scratch = scratch[:0]
-		walk(x, 1, 0)
-		for _, a := range scratch {
-			lp := lists[a.key]
-			if lp == nil {
-				lp = new(List)
-				lists[a.key] = lp
-			}
-			*lp = append(*lp, Entry{X: int32(x), Y: a.n})
-		}
-	}
-
-	out := make(map[string]List, len(lists))
-	buf := make([]uint8, k)
-	for key, lp := range lists {
-		rem := key
-		for i := k - 1; i >= 0; i-- {
-			buf[i] = uint8(rem % uint64(size))
-			rem /= uint64(size)
-		}
-		out[alpha.Decode(buf)] = *lp
-	}
-	return out, nil
+	return out, sup
 }
 
 // Merge sums two PILs of the same pattern computed over disjoint inputs
@@ -213,15 +145,4 @@ func FromPairs(pairs map[int32]int64) List {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
 	return out
-}
-
-func pow(base, exp int) int {
-	v := 1
-	for i := 0; i < exp; i++ {
-		if v > (1<<31)/base {
-			return 1 << 31
-		}
-		v *= base
-	}
-	return v
 }

@@ -1,24 +1,27 @@
 #!/usr/bin/env sh
 # Run the regression-tracked benchmark set and record benchmarks/latest.txt.
 #
+# By default each benchmark runs a fixed iteration count (-benchtime=Nx)
+# instead of a time budget: fixed counts keep the amount of allocated
+# memory identical run to run, so GC cycles land in the same places and
+# ns/op comparisons are not skewed by GOGC pacing differences between the
+# baseline and the candidate.
+#
 # Configuration (environment):
-#   BENCH_PATTERN   -bench regexp            (default: the kernel set below)
-#   BENCH_PKGS      packages to benchmark    (default: the root package)
-#   BENCH_TIME      -benchtime per benchmark (default: 300ms)
-#   BENCH_COUNT     -count repetitions       (default: 1)
+#   BENCH_PATTERN   custom -bench regexp; setting it (or BENCH_TIME)
+#                   replaces the fixed-count groups with one plain run
+#   BENCH_PKGS      packages for the custom run   (default: the root package)
+#   BENCH_TIME      -benchtime for the custom run (default: 300ms)
+#   BENCH_COUNT     -count repetitions            (default: 3)
 #
 # The default set covers the hot kernels (PIL join, k-length scan, support
-# counting, e_m measurement) rather than the full paper-reproduction suite,
-# which is slow and better run explicitly via `make bench`.
+# counting, e_m measurement, one full mining level, a small end-to-end
+# run) rather than the full paper-reproduction suite, which is slow and
+# better run explicitly via `make bench`.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-# EmOrder8 only: the m=10 and Ablation variants run single-digit
-# iterations at this benchtime and are too noisy to regression-gate.
-BENCH_PATTERN="${BENCH_PATTERN:-PILJoin|ScanK|Support\$|EmOrder8}"
-BENCH_PKGS="${BENCH_PKGS:-.}"
-BENCH_TIME="${BENCH_TIME:-300ms}"
 # Three runs per benchmark: bench-check compares fastest-of-N per side,
 # which filters scheduler noise a single run cannot.
 BENCH_COUNT="${BENCH_COUNT:-3}"
@@ -30,10 +33,36 @@ mkdir -p benchmarks
 # compare against.
 tmp="benchmarks/.latest.txt.tmp"
 trap 'rm -f "$tmp"' EXIT INT TERM
+: > "$tmp"
 
-echo "running benchmarks: -bench '${BENCH_PATTERN}' ${BENCH_PKGS}" >&2
-go test -run '^$' -bench "${BENCH_PATTERN}" -benchtime "${BENCH_TIME}" \
-    -count "${BENCH_COUNT}" -benchmem ${BENCH_PKGS} | tee "$tmp"
+if [ -n "${BENCH_PATTERN:-}" ] || [ -n "${BENCH_TIME:-}" ]; then
+    # Custom single pass (old behaviour) for ad-hoc exploration.
+    BENCH_PATTERN="${BENCH_PATTERN:-PILJoin|ScanK|Support\$|EmOrder8}"
+    BENCH_PKGS="${BENCH_PKGS:-.}"
+    BENCH_TIME="${BENCH_TIME:-300ms}"
+    echo "running benchmarks: -bench '${BENCH_PATTERN}' ${BENCH_PKGS}" >&2
+    go test -run '^$' -bench "${BENCH_PATTERN}" -benchtime "${BENCH_TIME}" \
+        -count "${BENCH_COUNT}" -benchmem ${BENCH_PKGS} | tee -a "$tmp"
+else
+    # Fixed-iteration groups: "pattern  iterations  package". Iteration
+    # counts are sized to ~0.1-2s per benchmark on the reference machine.
+    # EmOrder8 only: the m=10 and Ablation variants are too noisy to
+    # regression-gate at these budgets.
+    groups='
+BenchmarkPILJoin$       100000x .
+BenchmarkScanK$         500x    .
+BenchmarkSupport$       1000x   .
+BenchmarkEmOrder8$      10x     .
+BenchmarkMineLevel$     100x    ./internal/mine
+BenchmarkMineE2E$       5x      ./internal/mine
+'
+    echo "$groups" | while read -r pattern iters pkg; do
+        [ -n "$pattern" ] || continue
+        echo "running benchmarks: -bench '${pattern}' -benchtime ${iters} ${pkg}" >&2
+        go test -run '^$' -bench "${pattern}" -benchtime "${iters}" \
+            -count "${BENCH_COUNT}" -benchmem "${pkg}" | tee -a "$tmp"
+    done
+fi
 
 if ! grep -q '^Benchmark.* ns/op' "$tmp"; then
     echo "bench.sh: run produced no benchmark results; keeping previous benchmarks/latest.txt" >&2
