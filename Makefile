@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/async/ ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
+	$(GO) test -race ./internal/async/ ./internal/corpus/... ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
 
 # The full pre-merge gate: build, vet, tests, the race detector over
 # the concurrent packages, a short fuzz pass over the PIL invariants,

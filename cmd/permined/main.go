@@ -11,6 +11,14 @@
 // disk degrades the store to memory-only (visible on /healthz) instead of
 // killing the daemon. See README.md ("Persistence & crash recovery").
 //
+// POST /v1/corpus mines a multi-FASTA collection as per-sequence shards:
+// each shard gets its own deadline (-shard-timeout) and retry budget
+// (-shard-retry-budget, jittered -shard-retry-backoff), a shard that
+// exhausts its budget degrades the job to "partial" instead of failing
+// it, and with -data-dir shard completions are checkpointed so a killed
+// corpus job resumes from the incomplete shards only. See README.md
+// ("Corpus mining").
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs are
 // cancelled at the next level boundary and the listener closes once the
 // pool is idle (bounded by -drain-timeout).
@@ -53,11 +61,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeouts (0 = job-timeout)")
 		syncLen      = fs.Int("max-sync-len", 1<<20, "longest sequence /v1/query accepts synchronously")
-		maxBody      = fs.Int64("max-body", 32<<20, "request body size limit in bytes")
+		maxBody      = fs.Int64("max-body-bytes", 64<<20, "request body size limit in bytes (oversized bodies get 413)")
 		dataDir      = fs.String("data-dir", "", "journal jobs here and recover them on restart (empty = in-memory only)")
 		compactBytes = fs.Int64("compact-bytes", 4<<20, "journal size triggering snapshot compaction")
 		retryBudget  = fs.Int("retry-budget", 3, "re-executions allowed for a job interrupted by crashes")
 		retryBackoff = fs.Duration("retry-backoff", 500*time.Millisecond, "delay before a recovered job re-runs (doubles per attempt)")
+		shardTimeout = fs.Duration("shard-timeout", 2*time.Minute, "per-shard deadline for corpus jobs")
+		shardBudget  = fs.Int("shard-retry-budget", 3, "mining attempts allowed per corpus shard")
+		shardBackoff = fs.Duration("shard-retry-backoff", 200*time.Millisecond, "base delay before a corpus shard retries (doubles per attempt, jittered)")
+		maxInflight  = fs.Int("corpus-max-inflight", 0, "corpus shards mined concurrently per job (0 = 2x workers)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
 		traceSpans   = fs.Int("trace-spans", 0, "finished tracing spans kept for /v1/traces (0 = default 4096)")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
@@ -79,21 +91,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		Version:       permine.Version,
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		CacheSize:     *cacheSize,
-		Retain:        *retain,
-		JobTimeout:    *jobTimeout,
-		MaxTimeout:    *maxTimeout,
-		MaxSyncSeqLen: *syncLen,
-		MaxBodyBytes:  *maxBody,
-		DataDir:       *dataDir,
-		CompactBytes:  *compactBytes,
-		RetryBudget:   *retryBudget,
-		RetryBackoff:  *retryBackoff,
-		TraceSpans:    *traceSpans,
-		Logger:        logger,
+		Version:           permine.Version,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheSize:         *cacheSize,
+		Retain:            *retain,
+		JobTimeout:        *jobTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxSyncSeqLen:     *syncLen,
+		MaxBodyBytes:      *maxBody,
+		DataDir:           *dataDir,
+		CompactBytes:      *compactBytes,
+		RetryBudget:       *retryBudget,
+		RetryBackoff:      *retryBackoff,
+		ShardTimeout:      *shardTimeout,
+		ShardRetryBudget:  *shardBudget,
+		ShardRetryBackoff: *shardBackoff,
+		CorpusMaxInflight: *maxInflight,
+		TraceSpans:        *traceSpans,
+		Logger:            logger,
 	})
 
 	httpSrv := &http.Server{
@@ -151,8 +167,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	logger.Info("shutting down", "drain_timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	shutdownErr := httpSrv.Shutdown(drainCtx)
-	if err := srv.Shutdown(drainCtx); err != nil && shutdownErr == nil {
+	// httpSrv.Shutdown closes the listener immediately but then waits for
+	// in-flight connections — including SSE streams, which only end once
+	// srv.Shutdown closes the event broadcaster. Run them concurrently so
+	// streams drain with a final "shutdown" event instead of pinning the
+	// whole drain window and being cut off at the deadline.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Shutdown(drainCtx) }()
+	shutdownErr := srv.Shutdown(drainCtx)
+	if err := <-httpDone; err != nil && shutdownErr == nil {
 		shutdownErr = err
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -213,5 +214,194 @@ func TestRestartRecovery(t *testing.T) {
 			t.Fatalf("recovered job landed in %s (%s)", view.State, view.Error)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// corpusFASTA builds a deterministic multi-record FASTA corpus of n
+// sequences, each seqLen bases.
+func corpusFASTA(n, seqLen int) string {
+	var sb strings.Builder
+	state := uint64(11)
+	for i := 0; i < n; i++ {
+		sb.WriteString(">shard")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteByte('\n')
+		for j := 0; j < seqLen; j++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			sb.WriteByte("ACGT"[state>>62])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// corpusView is the subset of the corpus job view the tests poll.
+type corpusView struct {
+	ID         string          `json:"id"`
+	State      string          `json:"state"`
+	ShardCount int             `json:"shard_count"`
+	ShardsDone int             `json:"shards_done"`
+	Result     json.RawMessage `json:"result"`
+	Error      string          `json:"error"`
+}
+
+func getCorpus(t *testing.T, addr, id string) corpusView {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/corpus/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET corpus %s: status %d", id, resp.StatusCode)
+	}
+	var v corpusView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func submitCorpus(t *testing.T, addr, body string) corpusView {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/corpus", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/corpus: status %d: %s", resp.StatusCode, raw)
+	}
+	var v corpusView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatal("corpus submit returned no id")
+	}
+	return v
+}
+
+// waitCorpusDone polls until the corpus job is terminal and returns its
+// final view, requiring state "done" with a result.
+func waitCorpusDone(t *testing.T, addr, id string) corpusView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("corpus %s not terminal in time", id)
+		}
+		v := getCorpus(t, addr, id)
+		switch v.State {
+		case "done":
+			if len(v.Result) == 0 {
+				t.Fatal("corpus done without a merged result")
+			}
+			return v
+		case "partial", "failed", "cancelled":
+			t.Fatalf("corpus landed in %s (%s)", v.State, v.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCorpusRestartResume is the journaled-resume proof at the process
+// level: a corpus job is SIGKILLed after some shards checkpointed, the
+// daemon restarts on the same data dir, and must finish the job by
+// replaying completed shards from the journal (visible as
+// shards_replayed_total in /v1/metrics) instead of re-mining them — with
+// a merged result byte-identical to an uninterrupted run.
+func TestCorpusRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "permined")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1", "-corpus-max-inflight", "1",
+		"-data-dir", dataDir, "-retry-backoff", "50ms", "-shard-retry-backoff", "50ms",
+		"-drain-timeout", "5s"}
+
+	body := `{"algorithm":"mppm","params":{"gap_min":2,"gap_max":4,"min_support":0.0005,"max_len":6},` +
+		`"alphabet":"dna","fasta":` + strconv.Quote(corpusFASTA(6, 30000)) + `}`
+
+	cmd1, addr := startPermined(t, bin, args...)
+	sub := submitCorpus(t, addr, body)
+	if sub.ShardCount != 6 {
+		cmd1.Process.Kill()
+		t.Fatalf("shard_count = %d, want 6", sub.ShardCount)
+	}
+
+	// Wait for at least one shard checkpoint, then SIGKILL mid-corpus.
+	var doneBefore int
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			cmd1.Process.Kill()
+			t.Fatal("no shard finished before the kill deadline")
+		}
+		v := getCorpus(t, addr, sub.ID)
+		if v.State != "running" {
+			cmd1.Process.Kill()
+			t.Fatalf("corpus finished too fast to interrupt (state %s); enlarge the shards", v.State)
+		}
+		if v.ShardsDone >= 1 && v.ShardsDone < v.ShardCount {
+			doneBefore = v.ShardsDone
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	cmd2, addr2 := startPermined(t, bin, args...)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	resumed := waitCorpusDone(t, addr2, sub.ID)
+
+	// The restarted daemon must have replayed every checkpointed shard
+	// (at least the ones we saw complete) and re-mined only the rest.
+	mresp, err := http.Get("http://" + addr2 + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Corpus struct {
+			Shards         map[string]int64 `json:"shards_total"`
+			ShardsReplayed int64            `json:"shards_replayed_total"`
+		} `json:"corpus"`
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&metrics)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := metrics.Corpus.ShardsReplayed
+	if replayed < int64(doneBefore) || replayed >= int64(sub.ShardCount) {
+		t.Errorf("shards_replayed_total = %d, want in [%d, %d)", replayed, doneBefore, sub.ShardCount)
+	}
+	if mined := metrics.Corpus.Shards["done"]; mined != int64(sub.ShardCount)-replayed {
+		t.Errorf("re-mined %d shards after restart, want %d (replayed %d of %d)",
+			mined, int64(sub.ShardCount)-replayed, replayed, sub.ShardCount)
+	}
+
+	// An uninterrupted run of the same corpus must merge byte-identically.
+	cmd3, addr3 := startPermined(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "1", "-data-dir", t.TempDir(), "-drain-timeout", "5s")
+	defer func() {
+		cmd3.Process.Signal(syscall.SIGTERM)
+		cmd3.Wait()
+	}()
+	clean := waitCorpusDone(t, addr3, submitCorpus(t, addr3, body).ID)
+	if string(resumed.Result) != string(clean.Result) {
+		t.Errorf("resumed merge differs from clean run:\nresumed: %.400s\nclean:   %.400s",
+			resumed.Result, clean.Result)
 	}
 }

@@ -1,0 +1,530 @@
+// Package corpus is the fault-tolerant sharded corpus mining engine: it
+// takes a collection of sequences (one multi-FASTA input, split one shard
+// per record), mines every shard with the same algorithm and parameters on
+// a caller-provided worker pool, and merges the per-shard pattern sets
+// into one corpus result with per-shard provenance.
+//
+// Every shard boundary is hardened. Each shard attempt runs under its own
+// deadline; a failed attempt is retried under a per-shard budget with
+// exponential backoff and jitter; a panicking shard is recovered and
+// recorded as a shard failure instead of killing the process; and a shard
+// that exhausts its budget degrades the job to "partial" — the merged
+// result covers the completed shards and a failed-shard manifest names the
+// rest — rather than failing the whole corpus.
+//
+// The engine itself keeps no durable state: the caller journals shard
+// checkpoints through the Hooks (permined routes them into the
+// internal/server/store WAL as shard_done/shard_failed events) and rebuilds
+// interrupted jobs with RestoreShard after a crash, so only incomplete
+// shards are re-mined.
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"permine/internal/core"
+	"permine/internal/obs"
+	"permine/internal/seq"
+)
+
+// State is the lifecycle state of a corpus job. Unlike single-sequence
+// jobs there is no queued state: shards queue individually, the job runs
+// from submission.
+type State string
+
+// Corpus job states. Transitions: running → {done, partial, failed,
+// cancelled}. "partial" is the graceful-degradation terminal state: some
+// shards exhausted their retry budget but the rest completed, and the
+// merged result covers the completed shards.
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StatePartial   State = "partial"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StatePartial || s == StateFailed || s == StateCancelled
+}
+
+// ShardState is the lifecycle state of one shard.
+type ShardState string
+
+// Shard states. pending → running → {done, failed}, with running →
+// retrying → running loops while the retry budget lasts. A shard
+// interrupted by job-level cancellation or daemon shutdown reverts to
+// pending (the interruption costs no budget).
+const (
+	ShardPending  ShardState = "pending"
+	ShardRunning  ShardState = "running"
+	ShardRetrying ShardState = "retrying"
+	ShardDone     ShardState = "done"
+	ShardFailed   ShardState = "failed"
+)
+
+// Terminal reports whether the shard state is final.
+func (s ShardState) Terminal() bool { return s == ShardDone || s == ShardFailed }
+
+// Shard is one per-sequence unit of corpus work. All mutable fields are
+// guarded by the owning Job's mutex; the exported getters are safe to call
+// from Hooks (a shard's fields never change once it is terminal).
+type Shard struct {
+	index int
+	seq   *seq.Sequence
+
+	state      ShardState
+	scheduled  bool // holds one of the job's in-flight slots
+	attempts   int
+	replayed   bool // restored complete from the journal, not mined this boot
+	result     *core.Result
+	err        error
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+// Index returns the shard's position in the corpus split (0-based).
+func (s *Shard) Index() int { return s.index }
+
+// Name returns the shard sequence's FASTA name.
+func (s *Shard) Name() string { return s.seq.Name() }
+
+// Seq returns the shard's subject sequence.
+func (s *Shard) Seq() *seq.Sequence { return s.seq }
+
+// State returns the shard's state. Only safe without synchronisation once
+// the shard is terminal (the Hooks contract).
+func (s *Shard) State() ShardState { return s.state }
+
+// Attempts returns how many executions the shard consumed.
+func (s *Shard) Attempts() int { return s.attempts }
+
+// Replayed reports whether the shard was restored complete from the
+// journal rather than mined in this process.
+func (s *Shard) Replayed() bool { return s.replayed }
+
+// Result returns the shard's mining result (nil unless done).
+func (s *Shard) Result() *core.Result { return s.result }
+
+// Err returns the error that failed the shard (nil unless failed).
+func (s *Shard) Err() error { return s.err }
+
+// FinishedAt returns when the shard reached a terminal state.
+func (s *Shard) FinishedAt() time.Time { return s.finishedAt }
+
+// Spec describes a corpus job to NewJob.
+type Spec struct {
+	// ID is the job identifier (the manager allocates "c-NNNNNN" ids).
+	ID string
+	// Name labels the corpus (client-supplied, may be empty).
+	Name string
+	// Algorithm and Params apply to every shard.
+	Algorithm core.Algorithm
+	Params    core.Params
+	// Seqs are the shard subject sequences, one shard per sequence, in
+	// input order. Must be non-empty and share one alphabet.
+	Seqs []*seq.Sequence
+	// Ctx and Cancel bound the whole job's execution (the manager derives
+	// them from its base context so daemon shutdown interrupts shards).
+	Ctx    context.Context
+	Cancel context.CancelFunc
+	// Trace links the job's corpus.shard spans to the submitting request.
+	Trace obs.SpanContext
+	// Attempts is the crash-recovery execution count already consumed
+	// (non-zero only for restored jobs).
+	Attempts int
+	// CreatedAt defaults to now (restored jobs carry their original time).
+	CreatedAt time.Time
+}
+
+// Job is one corpus mining job: a set of shards plus the merge of their
+// results. All mutable state is guarded by mu; read through Snapshot.
+type Job struct {
+	id        string
+	name      string
+	algorithm core.Algorithm
+	params    core.Params
+	trace     obs.SpanContext
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      State
+	shards     []*Shard
+	inflight   int
+	attempts   int
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	merged     *Result
+	err        error
+	note       string
+}
+
+// NewJob builds a corpus job with one pending shard per sequence.
+func NewJob(spec Spec) (*Job, error) {
+	if len(spec.Seqs) == 0 {
+		return nil, errors.New("corpus: a corpus needs at least one sequence")
+	}
+	alpha := spec.Seqs[0].Alphabet()
+	for _, s := range spec.Seqs[1:] {
+		if s.Alphabet() != alpha {
+			return nil, fmt.Errorf("corpus: mixed alphabets (%s and %s) in one corpus",
+				alpha.Name(), s.Alphabet().Name())
+		}
+	}
+	if spec.Ctx == nil {
+		spec.Ctx, spec.Cancel = context.WithCancel(context.Background())
+	}
+	if spec.CreatedAt.IsZero() {
+		spec.CreatedAt = time.Now()
+	}
+	j := &Job{
+		id:        spec.ID,
+		name:      spec.Name,
+		algorithm: spec.Algorithm,
+		params:    spec.Params,
+		trace:     spec.Trace,
+		ctx:       spec.Ctx,
+		cancel:    spec.Cancel,
+		state:     StateRunning,
+		attempts:  spec.Attempts,
+		createdAt: spec.CreatedAt,
+	}
+	for i, s := range spec.Seqs {
+		j.shards = append(j.shards, &Shard{index: i, seq: s, state: ShardPending})
+	}
+	return j, nil
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Name returns the corpus label.
+func (j *Job) Name() string { return j.name }
+
+// Algorithm returns the mining algorithm applied to every shard.
+func (j *Job) Algorithm() core.Algorithm { return j.algorithm }
+
+// Params returns the mining parameters applied to every shard.
+func (j *Job) Params() core.Params { return j.params }
+
+// Trace returns the submit span context shards link to.
+func (j *Job) Trace() obs.SpanContext { return j.trace }
+
+// Sequences returns the shard subject sequences in shard order.
+func (j *Job) Sequences() []*seq.Sequence {
+	out := make([]*seq.Sequence, len(j.shards))
+	for i, s := range j.shards {
+		out[i] = s.seq
+	}
+	return out
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Attempts returns the crash-recovery execution count.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// SetAttempts records a consumed crash-recovery execution (Manager.Restore
+// calls it before re-dispatching a recovered job).
+func (j *Job) SetAttempts(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts = n
+}
+
+// RestoreShard folds one journaled shard checkpoint into the job before it
+// is (re-)dispatched: state must be ShardDone (with the decoded result) or
+// ShardFailed (with the error that exhausted the budget). Restored-done
+// shards are marked replayed so observers can tell them from re-mined ones.
+func (j *Job) RestoreShard(index int, state ShardState, attempts int, res *core.Result, errMsg string, finishedAt time.Time) error {
+	if index < 0 || index >= len(j.shards) {
+		return fmt.Errorf("corpus: shard index %d out of range (corpus has %d shards)", index, len(j.shards))
+	}
+	if state != ShardDone && state != ShardFailed {
+		return fmt.Errorf("corpus: cannot restore shard %d to non-terminal state %q", index, state)
+	}
+	if state == ShardDone && res == nil {
+		return fmt.Errorf("corpus: restored shard %d is done but has no result", index)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.shards[index]
+	if s.state.Terminal() {
+		return nil // duplicate checkpoint; first outcome wins
+	}
+	s.state = state
+	s.attempts = attempts
+	s.result = res
+	s.finishedAt = finishedAt
+	s.replayed = state == ShardDone
+	if errMsg != "" {
+		s.err = errors.New(errMsg)
+	}
+	return nil
+}
+
+// RestoreTerminal restores a journaled terminal job (queryable but never
+// re-dispatched): its final state, merged result and timings.
+func (j *Job) RestoreTerminal(state State, merged *Result, errMsg, note string, startedAt, finishedAt time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.merged = merged
+	j.note = note
+	j.startedAt = startedAt
+	j.finishedAt = finishedAt
+	if errMsg != "" {
+		j.err = errors.New(errMsg)
+	}
+	j.cancel()
+}
+
+// ReplayedShards counts shards restored complete from the journal.
+func (j *Job) ReplayedShards() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, s := range j.shards {
+		if s.replayed {
+			n++
+		}
+	}
+	return n
+}
+
+// Merged returns the merged corpus result (nil until the job is terminal).
+func (j *Job) Merged() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.merged
+}
+
+// ShardView is the JSON representation of one shard's state.
+type ShardView struct {
+	Index    int        `json:"index"`
+	Name     string     `json:"name"`
+	SeqLen   int        `json:"seq_len"`
+	State    ShardState `json:"state"`
+	Attempts int        `json:"attempts"`
+	// Patterns is the shard's frequent-pattern count (done shards only).
+	Patterns int `json:"patterns,omitempty"`
+	// Replayed marks a shard restored complete from the journal after a
+	// crash instead of mined in this process.
+	Replayed bool   `json:"replayed,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// View is the JSON representation of a corpus job at one instant.
+type View struct {
+	ID            string      `json:"id"`
+	Name          string      `json:"name,omitempty"`
+	State         State       `json:"state"`
+	Algorithm     string      `json:"algorithm"`
+	ShardCount    int         `json:"shard_count"`
+	ShardsDone    int         `json:"shards_done"`
+	ShardsFailed  int         `json:"shards_failed"`
+	ShardsPending int         `json:"shards_pending"`
+	Attempts      int         `json:"attempts,omitempty"`
+	CreatedAt     time.Time   `json:"created_at"`
+	StartedAt     *time.Time  `json:"started_at,omitempty"`
+	FinishedAt    *time.Time  `json:"finished_at,omitempty"`
+	Shards        []ShardView `json:"shards,omitempty"`
+	// Result is the merged corpus result, present only in terminal states.
+	Result *Result `json:"result,omitempty"`
+	// FailedShards is the explicit manifest of shards that exhausted their
+	// retry budget (partial/failed jobs).
+	FailedShards []FailedShard `json:"failed_shards,omitempty"`
+	Error        string        `json:"error,omitempty"`
+	Note         string        `json:"note,omitempty"`
+	TraceID      string        `json:"trace_id,omitempty"`
+}
+
+// shardViewLocked renders one shard. Caller holds j.mu.
+func (s *Shard) viewLocked() ShardView {
+	v := ShardView{
+		Index:    s.index,
+		Name:     s.seq.Name(),
+		SeqLen:   s.seq.Len(),
+		State:    s.state,
+		Attempts: s.attempts,
+		Replayed: s.replayed,
+	}
+	if s.result != nil {
+		v.Patterns = len(s.result.Patterns)
+	}
+	if s.err != nil {
+		v.Error = s.err.Error()
+	}
+	return v
+}
+
+// View renders the shard for hooks and SSE events. Safe without the job
+// lock only for terminal shards (the Hooks contract).
+func (s *Shard) View() ShardView { return s.viewLocked() }
+
+// Snapshot renders the job for JSON responses. The merged result is
+// included only for terminal states.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:         j.id,
+		Name:       j.name,
+		State:      j.state,
+		Algorithm:  j.algorithm.String(),
+		ShardCount: len(j.shards),
+		Attempts:   j.attempts,
+		CreatedAt:  j.createdAt,
+		Note:       j.note,
+		TraceID:    j.trace.TraceID,
+	}
+	for _, s := range j.shards {
+		v.Shards = append(v.Shards, s.viewLocked())
+		switch s.state {
+		case ShardDone:
+			v.ShardsDone++
+		case ShardFailed:
+			v.ShardsFailed++
+		default:
+			v.ShardsPending++
+		}
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	if j.state.Terminal() {
+		v.Result = j.merged
+		v.FailedShards = failedManifestLocked(j.shards)
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// FailedShard is one entry of a partial/failed job's failed-shard manifest.
+type FailedShard struct {
+	Index    int    `json:"index"`
+	Name     string `json:"name"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ShardSupport is one shard's contribution to a merged pattern: the
+// provenance record saying where the pattern was frequent and how strongly.
+type ShardSupport struct {
+	// Shard is the contributing shard's index; Name its sequence name.
+	Shard int    `json:"shard"`
+	Name  string `json:"name"`
+	// Support and Ratio are the pattern's support and support ratio within
+	// that shard.
+	Support int64   `json:"support"`
+	Ratio   float64 `json:"ratio"`
+}
+
+// MergedPattern is one pattern of the merged corpus result.
+type MergedPattern struct {
+	// Chars is the shorthand pattern string.
+	Chars string `json:"chars"`
+	// Shards counts the shards in which the pattern is frequent; Support
+	// sums its support across them.
+	Shards  int   `json:"shards"`
+	Support int64 `json:"support"`
+	// PerShard is the per-shard provenance, in shard order.
+	PerShard []ShardSupport `json:"per_shard"`
+}
+
+// Result is the merged outcome of a corpus job. It is deterministic in the
+// corpus content alone — shard completion order, retries and crash/resume
+// cycles do not change a byte of it.
+type Result struct {
+	Algorithm string `json:"algorithm"`
+	// Shards is the corpus shard count; Mined how many completed.
+	Shards int `json:"shards"`
+	Mined  int `json:"mined"`
+	// Failed names the shards missing from the merge.
+	Failed []FailedShard `json:"failed,omitempty"`
+	// Patterns is the union of the per-shard frequent pattern sets, sorted
+	// by length then lexicographically, each with per-shard provenance.
+	Patterns []MergedPattern `json:"patterns"`
+}
+
+// failedManifestLocked collects the failed-shard manifest in shard order.
+func failedManifestLocked(shards []*Shard) []FailedShard {
+	var out []FailedShard
+	for _, s := range shards {
+		if s.state != ShardFailed {
+			continue
+		}
+		f := FailedShard{Index: s.index, Name: s.seq.Name(), Attempts: s.attempts}
+		if s.err != nil {
+			f.Error = s.err.Error()
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// mergeLocked builds the merged corpus result from the terminal shards.
+// Iterating shards in index order and sorting the union makes the output
+// deterministic regardless of completion order. Caller holds j.mu.
+func mergeLocked(j *Job) *Result {
+	res := &Result{
+		Algorithm: j.algorithm.String(),
+		Shards:    len(j.shards),
+		Failed:    failedManifestLocked(j.shards),
+	}
+	merged := make(map[string]*MergedPattern)
+	for _, s := range j.shards {
+		if s.state != ShardDone || s.result == nil {
+			continue
+		}
+		res.Mined++
+		for _, p := range s.result.Patterns {
+			mp, ok := merged[p.Chars]
+			if !ok {
+				mp = &MergedPattern{Chars: p.Chars}
+				merged[p.Chars] = mp
+			}
+			mp.Shards++
+			mp.Support += p.Support
+			mp.PerShard = append(mp.PerShard, ShardSupport{
+				Shard: s.index, Name: s.seq.Name(), Support: p.Support, Ratio: p.Ratio,
+			})
+		}
+	}
+	res.Patterns = make([]MergedPattern, 0, len(merged))
+	for _, mp := range merged {
+		res.Patterns = append(res.Patterns, *mp)
+	}
+	sort.Slice(res.Patterns, func(i, k int) bool {
+		if len(res.Patterns[i].Chars) != len(res.Patterns[k].Chars) {
+			return len(res.Patterns[i].Chars) < len(res.Patterns[k].Chars)
+		}
+		return res.Patterns[i].Chars < res.Patterns[k].Chars
+	})
+	return res
+}

@@ -1,0 +1,126 @@
+// Package corpustest provides deterministic fault injection and leak
+// checking for corpus-engine tests: the shard-level counterpart of
+// internal/server/store/storetest.
+package corpustest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"permine/internal/corpus"
+)
+
+// Faults is a scripted corpus.Injector: it injects the configured fault
+// for exact (shard, attempt) pairs and FaultNone everywhere else, so a
+// test can say "shard 1 errors on its first two attempts, shard 3 panics
+// once" and replay it deterministically. Safe for concurrent use.
+type Faults struct {
+	mu     sync.Mutex
+	script map[[2]int]corpus.Fault
+	hits   map[[2]int]int
+}
+
+// NewFaults returns an empty (fault-free) script.
+func NewFaults() *Faults {
+	return &Faults{script: make(map[[2]int]corpus.Fault), hits: make(map[[2]int]int)}
+}
+
+// Set scripts a fault for one (shard, attempt) pair (attempt is 1-based).
+// Returns the receiver for chaining.
+func (f *Faults) Set(shard, attempt int, fault corpus.Fault) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script[[2]int{shard, attempt}] = fault
+	return f
+}
+
+// SetAttempts scripts the same fault for attempts 1..n of a shard — n at
+// least the retry budget makes the shard exhaust it and fail.
+func (f *Faults) SetAttempts(shard, n int, fault corpus.Fault) *Faults {
+	for a := 1; a <= n; a++ {
+		f.Set(shard, a, fault)
+	}
+	return f
+}
+
+// Fault implements corpus.Injector.
+func (f *Faults) Fault(shard, attempt int) corpus.Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{shard, attempt}
+	f.hits[key]++
+	return f.script[key]
+}
+
+// Injected reports how many times the given (shard, attempt) pair was
+// consulted — attempts are consulted whether or not a fault was scripted,
+// so tests can assert exact execution counts.
+func (f *Faults) Injected(shard, attempt int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[[2]int{shard, attempt}]
+}
+
+// Attempts reports how many attempts the engine ran for a shard.
+func (f *Faults) Attempts(shard int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for key := range f.hits {
+		if key[0] == shard {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckLeaks registers a cleanup that fails the test if goroutines started
+// during it are still alive shortly after it ends — the assertion corpus
+// scheduler tests use to prove that retries, backoff timers and cancelled
+// attempts do not strand workers. It samples the goroutine count at call
+// time and retries the comparison for up to two seconds before failing
+// (giving AfterFunc timers and draining workers time to exit), then dumps
+// the surviving stacks.
+func CheckLeaks(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.GC() // nudge finalizer-held goroutines along
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before, %d after\n%s",
+				before, after, indent(string(buf)))
+		}
+	})
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n\t")
+}
+
+var _ corpus.Injector = (*Faults)(nil)
+
+// Describe renders the script for test failure messages.
+func (f *Faults) Describe() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	for key, fault := range f.script {
+		fmt.Fprintf(&b, "shard %d attempt %d: %s; ", key[0], key[1], fault)
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}

@@ -12,11 +12,28 @@ import (
 // validation; blank lines are skipped. A record with an empty body is an
 // error, as is body text before the first header.
 func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	var out []*Sequence
+	err := ForEachFASTA(r, alpha, func(s *Sequence) error {
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachFASTA streams the records of a FASTA input to fn one at a time,
+// in file order, without holding more than the current record in memory —
+// the corpus sharding path iterates multi-FASTA inputs through it. Parsing
+// rules match ReadFASTA; a non-nil error from fn aborts the scan and is
+// returned verbatim. A stream with no records is an error.
+func ForEachFASTA(r io.Reader, alpha *Alphabet, fn func(*Sequence) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 
 	var (
-		out  []*Sequence
+		n    int
 		name string
 		body strings.Builder
 		open bool
@@ -32,10 +49,10 @@ func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
 		if err != nil {
 			return err
 		}
-		out = append(out, s)
+		n++
 		body.Reset()
 		open = false
-		return nil
+		return fn(s)
 	}
 
 	lineNo := 0
@@ -47,11 +64,11 @@ func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
 		}
 		if line[0] == '>' {
 			if err := flush(); err != nil {
-				return nil, err
+				return err
 			}
 			name = strings.TrimSpace(line[1:])
 			if name == "" {
-				name = fmt.Sprintf("record-%d", len(out)+1)
+				name = fmt.Sprintf("record-%d", n+1)
 			}
 			open = true
 			continue
@@ -60,20 +77,20 @@ func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
 			continue
 		}
 		if !open {
-			return nil, fmt.Errorf("seq: fasta line %d: sequence data before first header", lineNo)
+			return fmt.Errorf("seq: fasta line %d: sequence data before first header", lineNo)
 		}
 		body.WriteString(line)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("seq: reading fasta: %w", err)
+		return fmt.Errorf("seq: reading fasta: %w", err)
 	}
 	if err := flush(); err != nil {
-		return nil, err
+		return err
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("seq: fasta stream contains no records")
+	if n == 0 {
+		return fmt.Errorf("seq: fasta stream contains no records")
 	}
-	return out, nil
+	return nil
 }
 
 // WriteFASTA writes sequences as FASTA records with lines wrapped at the

@@ -4,8 +4,10 @@ import "sync"
 
 // Event is one job-progress notification pushed to SSE subscribers.
 type Event struct {
-	// Type is "level" (one completed mining level) or "end" (the job
-	// reached a terminal state; the stream closes after it).
+	// Type is "level" (one completed mining level), "end" (the job
+	// reached a terminal state; the stream closes after it), "shard" /
+	// "retry" (corpus shard completed / scheduled for retry), or
+	// "shutdown" (the daemon is draining; the stream closes after it).
 	Type string `json:"type"`
 	// Job is the job id.
 	Job string `json:"job"`
@@ -149,9 +151,11 @@ func (b *Broadcaster) EndJob(ev Event) {
 	}
 }
 
-// Close shuts the broadcaster down, closing every subscriber channel.
-// Further Subscribe calls return pre-closed subscriptions and publishes
-// are dropped.
+// Close shuts the broadcaster down: every live subscriber is sent a
+// terminal "shutdown" event (best-effort — a full buffer skips it) and
+// then closed, so SSE clients see an explicit end-of-stream instead of a
+// dropped connection. Further Subscribe calls return pre-closed
+// subscriptions and publishes are dropped.
 func (b *Broadcaster) Close() {
 	if b == nil {
 		return
@@ -164,6 +168,10 @@ func (b *Broadcaster) Close() {
 	b.closed = true
 	for _, set := range b.subs {
 		for sub := range set {
+			select {
+			case sub.ch <- Event{Type: "shutdown", Job: sub.job}:
+			default: // buffer full; the close below still ends the stream
+			}
 			close(sub.ch)
 		}
 	}

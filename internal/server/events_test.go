@@ -89,6 +89,9 @@ func TestBroadcasterCloseAndLateSubscribe(t *testing.T) {
 	b := NewBroadcaster()
 	sub := b.Subscribe("j-1")
 	b.Close()
+	if ev, ok := <-sub.C; !ok || ev.Type != "shutdown" || ev.Job != "j-1" {
+		t.Errorf("first event after Close = %+v (ok=%v), want shutdown event", ev, ok)
+	}
 	if _, ok := <-sub.C; ok {
 		t.Error("subscriber channel not closed by Close")
 	}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 
 	"permine/internal/core"
+	"permine/internal/corpus"
 	"permine/internal/mine"
 	"permine/internal/obs"
 	"permine/internal/seq"
@@ -186,8 +187,21 @@ type ManagerConfig struct {
 	// re-executed across restarts before being failed (default 3).
 	RetryBudget int
 	// RetryBackoff is the delay before a recovered job's first
-	// re-execution, doubling per prior attempt (default 500ms).
+	// re-execution, doubling per prior attempt and jittered into [d/2, d)
+	// (default 500ms).
 	RetryBackoff time.Duration
+	// ShardTimeout, ShardRetryBudget and ShardRetryBackoff configure the
+	// corpus engine's per-shard deadline and retry policy (see
+	// corpus.Config; defaults 2m / 3 / 200ms).
+	ShardTimeout      time.Duration
+	ShardRetryBudget  int
+	ShardRetryBackoff time.Duration
+	// CorpusMaxInflight bounds how many shards of one corpus job occupy
+	// the worker pool at once (default 2×Workers).
+	CorpusMaxInflight int
+	// ShardFault, when non-nil, injects deterministic shard faults into
+	// the corpus engine (tests and the -shard-fault debug knob).
+	ShardFault corpus.Injector
 	// Tracer, when non-nil, links every job's submit→queue→run→persist
 	// spans (and, through the run context, internal/mine's per-level
 	// spans) into the submitting request's trace.
@@ -229,19 +243,24 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 
 // Manager runs mining jobs asynchronously on a bounded worker pool with
 // cancellation, per-job progress, timeouts, a result cache, and graceful
-// shutdown.
+// shutdown. The same pool executes single-sequence jobs and the shard
+// attempts of corpus jobs (the queue carries thunks, not jobs).
 type Manager struct {
 	cfg        ManagerConfig
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *Job
+	queue      chan func()
 	wg         sync.WaitGroup
+	corpus     *corpus.Engine
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // creation order, for retention pruning
-	nextID uint64
-	closed bool
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // creation order, for retention pruning
+	corpusJobs   map[string]*corpus.Job
+	corpusOrder  []string
+	nextID       uint64
+	nextCorpusID uint64
+	closed       bool
 
 	// OnLevel, when set before any Submit, is invoked after every
 	// completed mining level of every job, from the mining goroutine. It
@@ -258,9 +277,30 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cfg:        cfg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      make(chan func(), cfg.QueueDepth),
 		jobs:       make(map[string]*Job),
+		corpusJobs: make(map[string]*corpus.Job),
 	}
+	maxInflight := cfg.CorpusMaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 2 * cfg.Workers
+	}
+	m.corpus = corpus.NewEngine(corpus.Config{
+		ShardTimeout: cfg.ShardTimeout,
+		RetryBudget:  cfg.ShardRetryBudget,
+		RetryBackoff: cfg.ShardRetryBackoff,
+		MaxInflight:  maxInflight,
+		Run:          m.runShard,
+		Enqueue:      m.enqueueShardTask,
+		Fault:        cfg.ShardFault,
+		Tracer:       cfg.Tracer,
+		Logger:       cfg.Logger,
+		Hooks: corpus.Hooks{
+			ShardEnd:   m.onShardEnd,
+			ShardRetry: m.onShardRetry,
+			JobEnd:     m.onCorpusEnd,
+		},
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -341,7 +381,7 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 	rec := recordForJob(j)
 	_, j.queueSpan = obs.Start(sctx, "job.queue", obs.KV("job", j.id))
 	select {
-	case m.queue <- j:
+	case m.queue <- func() { m.runJob(j) }:
 	default:
 		m.mu.Unlock()
 		cancel()
@@ -451,11 +491,32 @@ func (m *Manager) publishEnd(j *Job) {
 	m.cfg.Events.EndJob(Event{Type: "end", Job: j.id, Seq: seq, Data: v})
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the queue until Shutdown closes it. Tasks are thunks:
+// single-sequence job runs and corpus shard attempts share the pool.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.runJob(j)
+	for task := range m.queue {
+		task()
+	}
+}
+
+// enqueueShardTask schedules one corpus shard attempt on the worker pool.
+// It never blocks the corpus engine: a full queue retries shortly (shard
+// attempts, unlike submits, must not be rejected — admission control
+// happened at corpus submit), and a closed manager drops the task (the
+// journal still has the corpus job running, so the next boot resumes it).
+func (m *Manager) enqueueShardTask(task func()) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	select {
+	case m.queue <- task:
+		m.mu.Unlock()
+	default:
+		m.mu.Unlock()
+		time.AfterFunc(25*time.Millisecond, func() { m.enqueueShardTask(task) })
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"permine/internal/corpus"
 	"permine/internal/server/store"
 )
 
@@ -81,19 +82,32 @@ type Metrics struct {
 	queueFn   func() int
 	storeFn   func() store.Stats
 	sseFn     func() SSEStats
+
+	// Corpus-engine counters: jobs by state, terminal transitions, shard
+	// outcomes, retries with their cumulative backoff, and shards replayed
+	// from journal checkpoints instead of re-mined after a restart.
+	corpusStates   map[string]int64
+	corpusFinished map[string]int64
+	corpusShards   map[string]int64 // "done" / "failed"
+	corpusRetries  int64
+	corpusBackoff  float64 // summed scheduled backoff, seconds
+	corpusReplayed int64
 }
 
 // NewMetrics builds an empty registry; queueFn (optional) reports live
 // queue depth for snapshots.
 func NewMetrics(queueFn func() int) *Metrics {
 	return &Metrics{
-		started:   time.Now(),
-		jobStates: make(map[string]int64),
-		finished:  make(map[string]int64),
-		requests:  make(map[string]int64),
-		recovery:  make(map[string]int64),
-		latency:   make(map[string]*Histogram),
-		queueFn:   queueFn,
+		started:        time.Now(),
+		jobStates:      make(map[string]int64),
+		finished:       make(map[string]int64),
+		requests:       make(map[string]int64),
+		recovery:       make(map[string]int64),
+		latency:        make(map[string]*Histogram),
+		corpusStates:   make(map[string]int64),
+		corpusFinished: make(map[string]int64),
+		corpusShards:   make(map[string]int64),
+		queueFn:        queueFn,
 	}
 }
 
@@ -126,6 +140,47 @@ func (m *Metrics) JobRecovered(state JobState, outcome string) {
 	m.recovery[outcome]++
 }
 
+// CorpusTransition moves one corpus job from state `from` (empty for a
+// brand-new or recovered job) to `to`, keeping the by-state gauges and,
+// for terminal states, cumulative finished counters. States are the
+// corpus package's (running/done/partial/failed/cancelled).
+func (m *Metrics) CorpusTransition(from, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" {
+		m.corpusStates[from]--
+	}
+	m.corpusStates[to]++
+	if to != string(corpus.StateRunning) {
+		m.corpusFinished[to]++
+	}
+}
+
+// CorpusShard counts one shard reaching a terminal outcome ("done" or
+// "failed").
+func (m *Metrics) CorpusShard(outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.corpusShards[outcome]++
+}
+
+// CorpusRetry counts one scheduled shard retry and accumulates its
+// backoff delay, making the backoff-with-jitter policy observable.
+func (m *Metrics) CorpusRetry(backoff time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.corpusRetries++
+	m.corpusBackoff += backoff.Seconds()
+}
+
+// CorpusShardsReplayed counts shards restored complete from journal
+// checkpoints at boot — the work crash-resume did not redo.
+func (m *Metrics) CorpusShardsReplayed(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.corpusReplayed += int64(n)
+}
+
 // ObserveMining records one finished mining run's wall-clock latency under
 // its algorithm name.
 func (m *Metrics) ObserveMining(algorithm string, d time.Duration) {
@@ -155,6 +210,21 @@ func (m *Metrics) ObserveRequest(route string, status int) {
 	m.requests[route+" "+class]++
 }
 
+// CorpusMetrics is the corpus-engine section of a metrics snapshot.
+type CorpusMetrics struct {
+	Jobs     map[string]int64 `json:"jobs_by_state"`
+	Finished map[string]int64 `json:"jobs_finished_total"`
+	// Shards counts terminal shard outcomes by "done"/"failed".
+	Shards map[string]int64 `json:"shards_total"`
+	// Retries and BackoffSeconds expose the retry policy: how many shard
+	// retries were scheduled and the sum of their (jittered) backoffs.
+	Retries        int64   `json:"shard_retries_total"`
+	BackoffSeconds float64 `json:"shard_backoff_seconds_total"`
+	// ShardsReplayed counts shards restored complete from the journal at
+	// boot instead of re-mined.
+	ShardsReplayed int64 `json:"shards_replayed_total"`
+}
+
 // MetricsSnapshot is the JSON payload of GET /v1/metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -163,6 +233,7 @@ type MetricsSnapshot struct {
 	QueueDepth    int                      `json:"queue_depth"`
 	Cache         CacheStats               `json:"cache"`
 	Store         store.Stats              `json:"store"`
+	Corpus        CorpusMetrics            `json:"corpus"`
 	Recovery      map[string]int64         `json:"recovery,omitempty"`
 	Requests      map[string]int64         `json:"requests_total"`
 	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
@@ -179,12 +250,29 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 		JobsFinished:  make(map[string]int64, len(m.finished)),
 		Requests:      make(map[string]int64, len(m.requests)),
 		Latency:       make(map[string]HistogramView, len(m.latency)),
+		Corpus: CorpusMetrics{
+			Jobs:           make(map[string]int64, len(m.corpusStates)),
+			Finished:       make(map[string]int64, len(m.corpusFinished)),
+			Shards:         make(map[string]int64, len(m.corpusShards)),
+			Retries:        m.corpusRetries,
+			BackoffSeconds: m.corpusBackoff,
+			ShardsReplayed: m.corpusReplayed,
+		},
 	}
 	for k, v := range m.jobStates {
 		snap.Jobs[k] = v
 	}
 	for k, v := range m.finished {
 		snap.JobsFinished[k] = v
+	}
+	for k, v := range m.corpusStates {
+		snap.Corpus.Jobs[k] = v
+	}
+	for k, v := range m.corpusFinished {
+		snap.Corpus.Finished[k] = v
+	}
+	for k, v := range m.corpusShards {
+		snap.Corpus.Shards[k] = v
 	}
 	for k, v := range m.requests {
 		snap.Requests[k] = v

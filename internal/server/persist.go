@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strings"
 	"time"
 
@@ -136,10 +137,14 @@ type RestoreSummary struct {
 	// are scheduled for re-execution after a per-attempt backoff.
 	Requeued int
 	// Exhausted jobs were interrupted but had spent their retry budget;
-	// they are restored as failed.
+	// they are restored as failed (corpus jobs: partial, keeping the
+	// journaled shards).
 	Exhausted int
 	// Skipped records could not be decoded and were dropped with a warning.
 	Skipped int
+	// ShardsReplayed counts corpus shards restored complete from their
+	// journal checkpoints — work a resumed corpus did NOT redo.
+	ShardsReplayed int
 }
 
 // Restore registers jobs recovered from the store: terminal jobs become
@@ -154,6 +159,10 @@ type RestoreSummary struct {
 func (m *Manager) Restore(records []store.JobRecord) RestoreSummary {
 	var sum RestoreSummary
 	for _, rec := range records {
+		if rec.Kind == "corpus" {
+			m.restoreCorpus(rec, &sum)
+			continue
+		}
 		j, err := m.jobFromRecord(rec)
 		if err != nil {
 			sum.Skipped++
@@ -215,17 +224,24 @@ func (m *Manager) Restore(records []store.JobRecord) RestoreSummary {
 	return sum
 }
 
-// retryDelay is the exponential backoff before re-executing a recovered
-// job: RetryBackoff doubled per prior attempt, capped at one minute.
+// retryDelay is the backoff before re-executing a recovered job:
+// RetryBackoff doubled per prior attempt, capped at one minute, then
+// jittered uniformly into [d/2, d) — a restart with many interrupted jobs
+// spreads their re-executions out instead of retrying in lockstep.
 func (m *Manager) retryDelay(attempts int) time.Duration {
 	d := m.cfg.RetryBackoff
 	for i := 1; i < attempts; i++ {
 		d *= 2
 		if d >= time.Minute {
-			return time.Minute
+			d = time.Minute
+			break
 		}
 	}
-	return d
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int64N(int64(half)))
 }
 
 // scheduleRequeue enqueues the job after the delay, retrying while the
@@ -239,7 +255,7 @@ func (m *Manager) scheduleRequeue(j *Job, delay time.Duration) {
 			return
 		}
 		select {
-		case m.queue <- j:
+		case m.queue <- func() { m.runJob(j) }:
 			m.mu.Unlock()
 		default:
 			m.mu.Unlock()

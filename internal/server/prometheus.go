@@ -56,6 +56,25 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 	p.Meta("permine_store_compactions_total", "counter", "Journal snapshot compactions.")
 	p.Sample("permine_store_compactions_total", nil, float64(snap.Store.Compactions))
 
+	p.Meta("permine_corpus_jobs", "gauge", "Corpus jobs currently in each lifecycle state.")
+	for _, state := range sortedKeys(snap.Corpus.Jobs) {
+		p.Sample("permine_corpus_jobs", []obs.Label{{Name: "state", Value: state}}, float64(snap.Corpus.Jobs[state]))
+	}
+	p.Meta("permine_corpus_jobs_finished_total", "counter", "Corpus jobs finished, by terminal state.")
+	for _, state := range sortedKeys(snap.Corpus.Finished) {
+		p.Sample("permine_corpus_jobs_finished_total", []obs.Label{{Name: "state", Value: state}}, float64(snap.Corpus.Finished[state]))
+	}
+	p.Meta("permine_corpus_shards_total", "counter", "Corpus shards finished, by outcome.")
+	for _, outcome := range sortedKeys(snap.Corpus.Shards) {
+		p.Sample("permine_corpus_shards_total", []obs.Label{{Name: "outcome", Value: outcome}}, float64(snap.Corpus.Shards[outcome]))
+	}
+	p.Meta("permine_corpus_shard_retries_total", "counter", "Corpus shard retries scheduled.")
+	p.Sample("permine_corpus_shard_retries_total", nil, float64(snap.Corpus.Retries))
+	p.Meta("permine_corpus_shard_backoff_seconds_total", "counter", "Cumulative jittered backoff scheduled before shard retries.")
+	p.Sample("permine_corpus_shard_backoff_seconds_total", nil, snap.Corpus.BackoffSeconds)
+	p.Meta("permine_corpus_shards_replayed_total", "counter", "Corpus shards restored from journal checkpoints instead of re-mined.")
+	p.Sample("permine_corpus_shards_replayed_total", nil, float64(snap.Corpus.ShardsReplayed))
+
 	if len(snap.Recovery) > 0 {
 		p.Meta("permine_recovery_total", "counter", "Boot-time crash-recovery outcomes.")
 		for _, outcome := range sortedKeys(snap.Recovery) {

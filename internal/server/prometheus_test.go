@@ -43,6 +43,14 @@ func fixedSnapshot() MetricsSnapshot {
 			Backend: "wal", JournalBytes: 2048, Appends: 21, Fsyncs: 21,
 			WriteErrors: 0, WriteRetries: 1, Compactions: 2,
 		},
+		Corpus: CorpusMetrics{
+			Jobs:           map[string]int64{"partial": 1, "running": 1},
+			Finished:       map[string]int64{"done": 2, "partial": 1},
+			Shards:         map[string]int64{"done": 17, "failed": 2},
+			Retries:        5,
+			BackoffSeconds: 1.25,
+			ShardsReplayed: 6,
+		},
 		Recovery: map[string]int64{"requeued": 1, "terminal": 4},
 		Requests: map[string]int64{
 			"POST /v1/jobs 2xx":     6,

@@ -13,6 +13,11 @@
 //	GET    /v1/jobs/{id}        job state, per-level progress, result when done
 //	GET    /v1/jobs/{id}/events per-level progress as Server-Sent Events
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/corpus           submit a sharded multi-FASTA corpus job
+//	GET    /v1/corpus           list retained corpus jobs, newest first
+//	GET    /v1/corpus/{id}      corpus state, per-shard detail, merged result
+//	GET    /v1/corpus/{id}/events per-shard completions and retries as SSE
+//	DELETE /v1/corpus/{id}      cancel a running corpus job
 //	POST   /v1/query            synchronous pattern support/occurrences on small inputs
 //	GET    /v1/metrics          job/cache/request/latency counters (JSON)
 //	GET    /metrics             the same counters in Prometheus text format
@@ -36,6 +41,7 @@ import (
 
 	"permine/internal/combinat"
 	"permine/internal/core"
+	"permine/internal/corpus"
 	"permine/internal/obs"
 	"permine/internal/pattern"
 	"permine/internal/seq"
@@ -58,7 +64,8 @@ type Config struct {
 	// CacheSize bounds the result cache in entries (default 128;
 	// negative disables caching).
 	CacheSize int
-	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	// MaxBodyBytes bounds request bodies via http.MaxBytesReader (default
+	// 64 MiB); oversized uploads get 413 instead of exhausting memory.
 	MaxBodyBytes int64
 	// MaxSyncSeqLen bounds the sequence length /v1/query accepts
 	// (default 1<<20); longer inputs must go through a job.
@@ -75,6 +82,17 @@ type Config struct {
 	// (see ManagerConfig).
 	RetryBudget  int
 	RetryBackoff time.Duration
+	// ShardTimeout, ShardRetryBudget and ShardRetryBackoff configure the
+	// corpus engine's per-shard deadline and retry policy; ShardFault
+	// injects deterministic shard faults (tests and the -shard-fault
+	// debug knob). See ManagerConfig.
+	ShardTimeout      time.Duration
+	ShardRetryBudget  int
+	ShardRetryBackoff time.Duration
+	ShardFault        corpus.Injector
+	// CorpusMaxInflight bounds concurrently mined shards per corpus job
+	// (0 = twice Workers).
+	CorpusMaxInflight int
 	// TraceSpans bounds the in-memory span ring behind /v1/traces
 	// (default obs.DefaultRingSpans).
 	TraceSpans int
@@ -88,7 +106,7 @@ func (c Config) withDefaults() Config {
 		c.CacheSize = 128
 	}
 	if c.MaxBodyBytes <= 0 {
-		c.MaxBodyBytes = 32 << 20
+		c.MaxBodyBytes = 64 << 20
 	}
 	if c.MaxSyncSeqLen <= 0 {
 		c.MaxSyncSeqLen = 1 << 20
@@ -151,18 +169,23 @@ func New(cfg Config) *Server {
 	}
 
 	mgr := NewManager(ManagerConfig{
-		Workers:      cfg.Workers,
-		QueueDepth:   cfg.QueueDepth,
-		JobTimeout:   cfg.JobTimeout,
-		Retain:       cfg.Retain,
-		Cache:        cache,
-		Metrics:      metrics,
-		Store:        st,
-		RetryBudget:  cfg.RetryBudget,
-		RetryBackoff: cfg.RetryBackoff,
-		Tracer:       tracer,
-		Events:       events,
-		Logger:       cfg.Logger,
+		Workers:           cfg.Workers,
+		QueueDepth:        cfg.QueueDepth,
+		JobTimeout:        cfg.JobTimeout,
+		Retain:            cfg.Retain,
+		Cache:             cache,
+		Metrics:           metrics,
+		Store:             st,
+		RetryBudget:       cfg.RetryBudget,
+		RetryBackoff:      cfg.RetryBackoff,
+		ShardTimeout:      cfg.ShardTimeout,
+		ShardRetryBudget:  cfg.ShardRetryBudget,
+		ShardRetryBackoff: cfg.ShardRetryBackoff,
+		CorpusMaxInflight: cfg.CorpusMaxInflight,
+		ShardFault:        cfg.ShardFault,
+		Tracer:            tracer,
+		Events:            events,
+		Logger:            cfg.Logger,
 	})
 	metrics.queueFn = mgr.QueueDepth
 	metrics.storeFn = st.Stats
@@ -191,6 +214,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/corpus", s.handleCorpusSubmit)
+	mux.HandleFunc("GET /v1/corpus", s.handleCorpusList)
+	mux.HandleFunc("GET /v1/corpus/{id}", s.handleCorpusGet)
+	mux.HandleFunc("GET /v1/corpus/{id}/events", s.handleCorpusEvents)
+	mux.HandleFunc("DELETE /v1/corpus/{id}", s.handleCorpusCancel)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
@@ -314,13 +342,20 @@ func requestID(id string) string {
 func routeLabel(r *http.Request) string {
 	path := r.URL.Path
 	switch {
-	case path == "/v1/jobs", path == "/v1/query", path == "/v1/metrics",
-		path == "/metrics", path == "/v1/traces", path == "/healthz":
+	case path == "/v1/jobs", path == "/v1/corpus", path == "/v1/query",
+		path == "/v1/metrics", path == "/metrics", path == "/v1/traces",
+		path == "/healthz":
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		if strings.HasSuffix(path, "/events") {
 			path = "/v1/jobs/{id}/events"
 		} else {
 			path = "/v1/jobs/{id}"
+		}
+	case strings.HasPrefix(path, "/v1/corpus/"):
+		if strings.HasSuffix(path, "/events") {
+			path = "/v1/corpus/{id}/events"
+		} else {
+			path = "/v1/corpus/{id}"
 		}
 	case strings.HasPrefix(path, "/v1/traces/"):
 		path = "/v1/traces/{id}"
@@ -523,6 +558,9 @@ func jobRequestFromQuery(r *http.Request, fasta string) (jobRequest, error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeJobRequest(r)
 	if err != nil {
+		if tooLarge(w, err) {
+			return
+		}
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -621,6 +659,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		if tooLarge(w, err) {
+			return
+		}
 		apiError(w, http.StatusBadRequest, "decoding JSON body: %v", err)
 		return
 	}
@@ -787,7 +828,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fl.Flush()
-			if ev.Type == "end" {
+			if ev.Type == "end" || ev.Type == "shutdown" {
 				return
 			}
 		}

@@ -25,6 +25,11 @@ type JobRecord struct {
 	ID        string `json:"id"`
 	Algorithm string `json:"algorithm"`
 
+	// Kind distinguishes job flavours: empty for a single-sequence mining
+	// job, "corpus" for a sharded multi-sequence corpus job (SeqData then
+	// holds the canonical multi-FASTA rendering of every shard).
+	Kind string `json:"kind,omitempty"`
+
 	// SeqName, SeqAlphabet, SeqSymbols and SeqData reconstruct the subject
 	// sequence: the alphabet is matched by name and symbol set (so "DNA"
 	// maps back to the canonical alphabet) or rebuilt from SeqSymbols.
@@ -32,6 +37,13 @@ type JobRecord struct {
 	SeqAlphabet string `json:"seq_alphabet"`
 	SeqSymbols  string `json:"seq_symbols"`
 	SeqData     string `json:"seq_data"`
+
+	// ShardCount and Shards belong to corpus jobs: the number of shards the
+	// input splits into, and the per-shard completion checkpoints folded
+	// from shard_done/shard_failed journal events. A crashed corpus job
+	// resumes from Shards instead of re-mining from scratch.
+	ShardCount int           `json:"shard_count,omitempty"`
+	Shards     []ShardRecord `json:"shards,omitempty"`
 
 	Params    json.RawMessage `json:"params"`
 	TimeoutMS int64           `json:"timeout_ms"`
@@ -59,6 +71,26 @@ type Outcome struct {
 	Error      string
 	Note       string
 	FinishedAt time.Time
+}
+
+// ShardRecord is the durable completion checkpoint of one corpus shard:
+// either "done" with the shard's mining result or "failed" with the error
+// that exhausted its retry budget. Journaled as a shard_done/shard_failed
+// event and folded into the owning corpus job's record, so a restart
+// resumes from completed shards.
+type ShardRecord struct {
+	// Index is the shard's position in the corpus split (0-based); Name is
+	// the shard sequence's FASTA name.
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// State is "done" or "failed".
+	State string `json:"state"`
+	// Attempts counts executions of this shard, retries included.
+	Attempts int `json:"attempts"`
+
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	FinishedAt time.Time       `json:"finished_at"`
 }
 
 // Stats is a point-in-time snapshot of a store's health and accounting,
@@ -101,6 +133,9 @@ type Store interface {
 	AppendState(id, state string, attempts int, at time.Time)
 	// AppendOutcome durably records a terminal transition.
 	AppendOutcome(id string, out Outcome)
+	// AppendShard durably records one corpus shard reaching "done" or
+	// "failed", the per-shard checkpoint a crashed corpus job resumes from.
+	AppendShard(id string, sh ShardRecord)
 	// Stats reports health and accounting counters.
 	Stats() Stats
 	// Close releases the journal; subsequent appends are no-ops.
@@ -138,6 +173,9 @@ func (m *Memory) AppendState(string, string, int, time.Time) {}
 
 // AppendOutcome implements Store.
 func (m *Memory) AppendOutcome(string, Outcome) {}
+
+// AppendShard implements Store.
+func (m *Memory) AppendShard(string, ShardRecord) {}
 
 // Stats implements Store.
 func (m *Memory) Stats() Stats {

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 )
@@ -37,19 +38,22 @@ const (
 // Event types. State strings inside events mirror the server package's
 // JobState values; the store only distinguishes terminal from not.
 const (
-	evSubmit   = "submit"
-	evState    = "state"
-	evOutcome  = "outcome"
-	evSnapshot = "snapshot"
+	evSubmit      = "submit"
+	evState       = "state"
+	evOutcome     = "outcome"
+	evSnapshot    = "snapshot"
+	evShardDone   = "shard_done"
+	evShardFailed = "shard_failed"
 )
 
 // event is one journal entry.
 type event struct {
 	Type     string          `json:"t"`
 	At       time.Time       `json:"at"`
-	Job      *JobRecord      `json:"job,omitempty"`  // submit
-	Jobs     []JobRecord     `json:"jobs,omitempty"` // snapshot
-	ID       string          `json:"id,omitempty"`   // state, outcome
+	Job      *JobRecord      `json:"job,omitempty"`   // submit
+	Jobs     []JobRecord     `json:"jobs,omitempty"`  // snapshot
+	ID       string          `json:"id,omitempty"`    // state, outcome, shard_*
+	Shard    *ShardRecord    `json:"shard,omitempty"` // shard_done, shard_failed
 	State    string          `json:"state,omitempty"`
 	Attempts int             `json:"attempts,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
@@ -57,9 +61,10 @@ type event struct {
 	Note     string          `json:"note,omitempty"`
 }
 
-// terminalState mirrors server.JobState.Terminal over the wire strings.
+// terminalState mirrors server.JobState.Terminal over the wire strings
+// ("partial" is the corpus job's degraded-but-complete terminal state).
 func terminalState(state string) bool {
-	return state == "done" || state == "failed" || state == "cancelled"
+	return state == "done" || state == "failed" || state == "cancelled" || state == "partial"
 }
 
 // Options configures a WAL. Zero values take the documented defaults.
@@ -262,6 +267,25 @@ func (w *WAL) applyLocked(ev event) {
 		rec.Result = ev.Result
 		rec.Error = ev.Error
 		rec.Note = ev.Note
+	case evShardDone, evShardFailed:
+		rec, ok := w.jobs[ev.ID]
+		if !ok || terminalState(rec.State) || ev.Shard == nil {
+			return
+		}
+		// Shard checkpoints are idempotent: a shard that already reached a
+		// terminal state keeps its first outcome (replays and narrow
+		// crash-window duplicates fold away).
+		for i := range rec.Shards {
+			if rec.Shards[i].Index == ev.Shard.Index {
+				return
+			}
+		}
+		rec.Shards = append(rec.Shards, *ev.Shard)
+		// Kept sorted by shard index so recovered records are deterministic
+		// regardless of completion order.
+		sort.Slice(rec.Shards, func(i, j int) bool {
+			return rec.Shards[i].Index < rec.Shards[j].Index
+		})
 	}
 }
 
@@ -305,6 +329,17 @@ func (w *WAL) AppendOutcome(id string, out Outcome) {
 		Type: evOutcome, At: out.FinishedAt, ID: id, State: out.State,
 		Result: out.Result, Error: out.Error, Note: out.Note,
 	})
+}
+
+// AppendShard implements Store.
+func (w *WAL) AppendShard(id string, sh ShardRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kind := evShardDone
+	if sh.State == "failed" {
+		kind = evShardFailed
+	}
+	w.appendLocked(event{Type: kind, At: sh.FinishedAt, ID: id, Shard: &sh})
 }
 
 // appendLocked folds the event into memory, then journals it with retries;

@@ -387,3 +387,96 @@ func TestWALOpenFailure(t *testing.T) {
 		t.Errorf("NewDegraded stats = %+v", st)
 	}
 }
+
+// corpusRec is a minimal corpus-kind submit record with n shards.
+func corpusRec(id string, n int) store.JobRecord {
+	rec := submitRec(id)
+	rec.Kind = "corpus"
+	rec.ShardCount = n
+	rec.State = "running"
+	return rec
+}
+
+// TestWALShardCheckpoints: shard_done/shard_failed events fold into the
+// owning corpus record across a reopen, ordered by shard index, with the
+// first terminal outcome per shard winning.
+func TestWALShardCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, store.Options{Dir: dir})
+	w.AppendSubmit(corpusRec("c-000001", 3))
+	at := time.Now().UTC()
+	w.AppendShard("c-000001", store.ShardRecord{
+		Index: 2, Name: "s2", State: "failed", Attempts: 3,
+		Error: "injected", FinishedAt: at,
+	})
+	w.AppendShard("c-000001", store.ShardRecord{
+		Index: 0, Name: "s0", State: "done", Attempts: 1,
+		Result: json.RawMessage(`{"Patterns":null}`), FinishedAt: at,
+	})
+	// Duplicate checkpoint for shard 0: the first outcome must win.
+	w.AppendShard("c-000001", store.ShardRecord{
+		Index: 0, Name: "s0", State: "failed", Attempts: 9, FinishedAt: at,
+	})
+	// Checkpoint for an unknown corpus id: ignored.
+	w.AppendShard("c-999999", store.ShardRecord{Index: 0, State: "done", FinishedAt: at})
+	w.Close()
+
+	w2 := openWAL(t, store.Options{Dir: dir})
+	recs := w2.Recovered()
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Kind != "corpus" || rec.ShardCount != 3 || rec.State != "running" {
+		t.Fatalf("folded corpus record = %+v", rec)
+	}
+	if len(rec.Shards) != 2 {
+		t.Fatalf("folded %d shard checkpoints, want 2", len(rec.Shards))
+	}
+	if rec.Shards[0].Index != 0 || rec.Shards[1].Index != 2 {
+		t.Errorf("shard order = %d, %d, want by index 0, 2", rec.Shards[0].Index, rec.Shards[1].Index)
+	}
+	s0 := rec.Shards[0]
+	if s0.State != "done" || s0.Attempts != 1 || string(s0.Result) != `{"Patterns":null}` {
+		t.Errorf("shard 0 duplicate overwrote the first checkpoint: %+v", s0)
+	}
+	s2 := rec.Shards[1]
+	if s2.State != "failed" || s2.Error != "injected" || s2.Attempts != 3 {
+		t.Errorf("shard 2 checkpoint = %+v", s2)
+	}
+}
+
+// TestWALPartialOutcomeTerminal: "partial" is a terminal corpus state — a
+// late state append must not roll it back, and the merged result survives
+// replay next to the shard checkpoints.
+func TestWALPartialOutcomeTerminal(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, store.Options{Dir: dir})
+	w.AppendSubmit(corpusRec("c-000001", 2))
+	at := time.Now().UTC()
+	w.AppendShard("c-000001", store.ShardRecord{Index: 0, State: "done",
+		Result: json.RawMessage(`{"Patterns":null}`), FinishedAt: at})
+	w.AppendShard("c-000001", store.ShardRecord{Index: 1, State: "failed",
+		Error: "boom", FinishedAt: at})
+	w.AppendOutcome("c-000001", store.Outcome{
+		State: "partial", Result: json.RawMessage(`{"mined":1}`), FinishedAt: at,
+	})
+	w.AppendState("c-000001", "running", 1, time.Now()) // after terminal: ignored
+	w.Close()
+
+	w2 := openWAL(t, store.Options{Dir: dir})
+	recs := w2.Recovered()
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.State != "partial" {
+		t.Errorf("state = %s, want partial (terminal, not rolled back)", rec.State)
+	}
+	if string(rec.Result) != `{"mined":1}` {
+		t.Errorf("merged result = %s", rec.Result)
+	}
+	if len(rec.Shards) != 2 {
+		t.Errorf("shard checkpoints = %d, want 2", len(rec.Shards))
+	}
+}
