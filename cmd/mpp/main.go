@@ -7,6 +7,8 @@
 //	mpp -in genome.fa -gapmin 9 -gapmax 12 -support 0.003 -algo mppm
 //	seqgen -kind genome -len 5000 | mpp -gapmin 9 -gapmax 12 -support 0.003
 //	mpp -demo -algo adaptive -v
+//	mpp -demo -topk 5              # only the 5 best patterns by ratio
+//	mpp -demo -motif ACG           # only patterns containing ACG
 package main
 
 import (
@@ -46,6 +48,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxLen   = fs.Int("n", 0, "MPP estimate of the longest frequent pattern length (0 = worst case l1)")
 		emOrder  = fs.Int("m", 8, "MPPm e_m order")
 		workers  = fs.Int("workers", 1, "worker goroutines for candidate counting")
+		topK     = fs.Int("topk", 0, "mine only the K best patterns by support ratio (0 = all)")
+		motif    = fs.String("motif", "", "targeted mining: keep only patterns containing this character string")
 		verbose  = fs.Bool("v", false, "print per-level metrics")
 		maxPrint = fs.Int("top", 40, "print at most this many patterns (0 = all)")
 		query    = fs.String("pattern", "", "query mode: report support and first occurrences of this pattern (paper notation, e.g. 'A..Tg(9,12)C') instead of mining")
@@ -97,6 +101,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		MaxLen:     *maxLen,
 		EmOrder:    *emOrder,
 		Workers:    *workers,
+		TopK:       *topK,
+		Motif:      *motif,
 	}
 
 	if *query != "" {

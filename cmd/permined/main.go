@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		workers      = fs.Int("workers", 2, "concurrent mining workers")
 		queueDepth   = fs.Int("queue", 64, "job queue depth (submits beyond it are rejected with 503)")
 		cacheSize    = fs.Int("cache", 128, "result cache size in entries (negative disables)")
+		cacheSubsume = fs.Bool("cache-subsumption", true, "serve jobs by filtering cached results mined at other thresholds")
 		retain       = fs.Int("retain", 1024, "finished jobs kept queryable")
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeouts (0 = job-timeout)")
@@ -91,25 +92,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		Version:           permine.Version,
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		CacheSize:         *cacheSize,
-		Retain:            *retain,
-		JobTimeout:        *jobTimeout,
-		MaxTimeout:        *maxTimeout,
-		MaxSyncSeqLen:     *syncLen,
-		MaxBodyBytes:      *maxBody,
-		DataDir:           *dataDir,
-		CompactBytes:      *compactBytes,
-		RetryBudget:       *retryBudget,
-		RetryBackoff:      *retryBackoff,
-		ShardTimeout:      *shardTimeout,
-		ShardRetryBudget:  *shardBudget,
-		ShardRetryBackoff: *shardBackoff,
-		CorpusMaxInflight: *maxInflight,
-		TraceSpans:        *traceSpans,
-		Logger:            logger,
+		Version:            permine.Version,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheSize:          *cacheSize,
+		DisableSubsumption: !*cacheSubsume,
+		Retain:             *retain,
+		JobTimeout:         *jobTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxSyncSeqLen:      *syncLen,
+		MaxBodyBytes:       *maxBody,
+		DataDir:            *dataDir,
+		CompactBytes:       *compactBytes,
+		RetryBudget:        *retryBudget,
+		RetryBackoff:       *retryBackoff,
+		ShardTimeout:       *shardTimeout,
+		ShardRetryBudget:   *shardBudget,
+		ShardRetryBackoff:  *shardBackoff,
+		CorpusMaxInflight:  *maxInflight,
+		TraceSpans:         *traceSpans,
+		Logger:             logger,
 	})
 
 	httpSrv := &http.Server{

@@ -217,6 +217,115 @@ func TestRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestQueryJobRestartRecovery proves query jobs are as durable as plain
+// ones: a top-K + targeted job is journaled with its query params (WAL
+// kind "query"), the daemon is SIGKILLed mid-run, and the restarted
+// process must re-execute the job and honor both query fields — the
+// round-trip through the journal must lose neither.
+func TestQueryJobRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "permined")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1",
+		"-data-dir", dataDir, "-retry-backoff", "50ms", "-drain-timeout", "5s"}
+
+	cmd1, addr := startPermined(t, bin, args...)
+	var sb strings.Builder
+	state := uint64(13)
+	for i := 0; i < 40000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		sb.WriteByte("ACGT"[state>>62])
+	}
+	body := `{"algorithm":"mppm","params":{"gap_min":2,"gap_max":4,"min_support":0.0005,"max_len":6,` +
+		`"top_k":3,"motif":"AC"},` +
+		`"sequence":{"alphabet":"dna","name":"crashquery","data":"` + sb.String() + `"}}`
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		cmd1.Process.Kill()
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		cmd1.Process.Kill()
+		t.Fatalf("submit decode: %v (id %q)", err, submitted.ID)
+	}
+
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	cmd2, addr2 := startPermined(t, bin, args...)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("query job %s not terminal after restart", submitted.ID)
+		}
+		resp, err := http.Get("http://" + addr2 + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("GET recovered query job: status %d", resp.StatusCode)
+		}
+		var view struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Params struct {
+					TopK  int    `json:"TopK"`
+					Motif string `json:"Motif"`
+				} `json:"Params"`
+				Patterns []struct {
+					Chars string `json:"Chars"`
+				} `json:"Patterns"`
+			} `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch view.State {
+		case "done":
+			if view.Result == nil {
+				t.Fatal("recovered query job done without a result")
+			}
+			if view.Result.Params.TopK != 3 || view.Result.Params.Motif != "AC" {
+				t.Fatalf("query params lost across restart: top_k=%d motif=%q, want 3/AC",
+					view.Result.Params.TopK, view.Result.Params.Motif)
+			}
+			if len(view.Result.Patterns) > 3 {
+				t.Fatalf("top-3 query returned %d patterns", len(view.Result.Patterns))
+			}
+			for _, p := range view.Result.Patterns {
+				if !strings.Contains(p.Chars, "AC") {
+					t.Errorf("recovered targeted result has pattern %q without motif AC", p.Chars)
+				}
+			}
+			return
+		case "failed", "cancelled":
+			t.Fatalf("recovered query job landed in %s (%s)", view.State, view.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // corpusFASTA builds a deterministic multi-record FASTA corpus of n
 // sequences, each seqLen bases.
 func corpusFASTA(n, seqLen int) string {

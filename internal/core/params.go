@@ -83,6 +83,25 @@ type Params struct {
 	// whose pruning keeps candidate sets small.
 	CandidateBudget int64
 
+	// TopK, when positive, asks for the K best frequent patterns by
+	// support ratio instead of all of them. Plain miners in internal/mine
+	// ignore it; route top-K runs through internal/query (or the permine
+	// facade), which threads a dynamically rising threshold into the
+	// level loop and prunes candidate subtrees against the current K-th
+	// support.
+	TopK int
+
+	// Motif, when non-empty, restricts mining to patterns containing
+	// this character string as a substring (targeted mining). Like TopK
+	// it is interpreted by internal/query; the motif must be a string
+	// over the subject sequence's alphabet.
+	Motif string
+
+	// Hooks optionally threads query-layer behaviour (dynamic
+	// thresholds, targeted candidate filters) into the level-wise
+	// miners. Installed by internal/query; nil for plain runs.
+	Hooks *MineHooks `json:"-"`
+
 	// Ctx optionally carries a context for cooperative cancellation. The
 	// miners check it between levels and between candidate batches; a
 	// cancelled run returns a *CancelledError wrapping ctx.Err(). Nil
@@ -94,6 +113,48 @@ type Params struct {
 	// callers (e.g. the permined job manager) use it to expose live
 	// per-level progress. Ignored for mining semantics.
 	Progress func(LevelMetrics) `json:"-"`
+}
+
+// MineHooks lets the query layer reach into the level-wise miners (MPP
+// and MPPm honor them; Adaptive and Enumerate run plain and are filtered
+// afterwards). All funcs are optional (nil = no-op). Hooks are invoked
+// from the mining goroutine, between levels and per emitted/kept entry;
+// implementations must be cheap and must not retain the chars strings
+// beyond the call.
+type MineHooks struct {
+	// Threshold returns a support-ratio floor that may exceed
+	// Params.MinSupport. It is sampled once per level, before thresholds
+	// are computed, so a whole level sees one consistent effective ρs.
+	// The returned value must be non-decreasing over the run (a top-K
+	// heap's K-th ratio is). Nil means MinSupport.
+	Threshold func() float64
+
+	// Emit filters which frequent patterns are recorded in the result
+	// (e.g. targeted mining keeps only patterns containing the motif).
+	// Filtered patterns still count as frequent for pruning purposes.
+	Emit func(chars string) bool
+
+	// OnFrequent observes every emitted pattern (after Emit), e.g. to
+	// feed a top-K heap that backs Threshold.
+	OnFrequent func(p Pattern)
+
+	// KeepCandidate filters which frequent patterns seed the next
+	// level's candidate generation. Dropped entries count toward the
+	// level's PrunedByLambda metric. Dropping an entry must be sound:
+	// no wanted pattern may descend from it.
+	KeepCandidate func(chars string) bool
+}
+
+// EffectiveMinSupport returns the support-ratio floor for one level:
+// MinSupport, raised by Hooks.Threshold when installed and higher.
+func (p Params) EffectiveMinSupport() float64 {
+	rho := p.MinSupport
+	if p.Hooks != nil && p.Hooks.Threshold != nil {
+		if t := p.Hooks.Threshold(); t > rho {
+			rho = t
+		}
+	}
+	return rho
 }
 
 // Context returns the run's context: Ctx, or context.Background() when nil.
@@ -196,6 +257,9 @@ func (p Params) Normalize() (Params, error) {
 	}
 	if p.CandidateBudget < 0 {
 		return p, fmt.Errorf("core: CandidateBudget %d must be >= 0", p.CandidateBudget)
+	}
+	if p.TopK < 0 {
+		return p, fmt.Errorf("core: TopK %d must be >= 0", p.TopK)
 	}
 	return p, nil
 }

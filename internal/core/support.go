@@ -1,0 +1,12 @@
+package core
+
+// Meets reports sup >= threshold with a tiny relative tolerance so that
+// float64 threshold computation does not drop exact-boundary supports.
+// Every place a support is compared against a ρs-derived threshold — the
+// level-wise miners, the enumeration baseline, MPPm's n estimation, the
+// brute-force oracle and the query layer's cache filter — must go through
+// this one comparison, so a cache-filtered answer agrees with a fresh
+// mining run even when a support sits exactly on the boundary.
+func Meets(sup int64, threshold float64) bool {
+	return sup > 0 && float64(sup) >= threshold*(1-1e-12)
+}

@@ -156,7 +156,7 @@ func recordEnumLevel(r *runner, i int, charge *big.Int, pils map[string]pil.List
 	sort.Strings(pats)
 	for _, chars := range pats {
 		sup := sups[chars]
-		if meets(sup, thFreq) {
+		if core.Meets(sup, thFreq) {
 			frequent++
 			r.res.Patterns = append(r.res.Patterns, core.Pattern{
 				Chars:   chars,

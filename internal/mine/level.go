@@ -22,12 +22,6 @@ import (
 	"permine/internal/seq"
 )
 
-// meets reports sup >= threshold with a tiny relative tolerance so that
-// float64 threshold computation does not drop exact-boundary supports.
-func meets(sup int64, threshold float64) bool {
-	return sup > 0 && float64(sup) >= threshold*(1-1e-12)
-}
-
 // runner drives one level-wise mining pass shared by MPP and MPPm.
 //
 // The level kernel is allocation-free in steady state: patterns travel as
@@ -256,30 +250,56 @@ func (r *runner) widen(hat []hatEntry, k int) {
 // (compacted in place) for candidate generation. entries holds only
 // non-zero-support candidates in pattern order; the gap to candidates is
 // the level's zero-support count.
+//
+// Query hooks (Params.Hooks) thread the interactive layer in here: the
+// effective ρs is sampled once per level (so a top-K heap's rising K-th
+// ratio tightens both thresholds for whole levels at a time, pruning
+// candidate subtrees against the current K-th support, not the user's
+// floor), Emit/OnFrequent filter and observe emitted patterns, and
+// KeepCandidate drops hat entries whose descendants are known useless
+// (counted in PrunedByLambda). Plain runs (nil hooks) keep the
+// no-decode fast path for infrequent entries.
 func (r *runner) collectLevel(i int, candidates int64, entries []hatEntry, st levelStats) []hatEntry {
 	start := time.Now()
 	alpha := r.s.Alphabet()
 	nl := r.counter.NlFloat(i)
 	lam := r.lambda(i)
-	thFreq := r.p.MinSupport * nl
+	thFreq := r.p.EffectiveMinSupport() * nl
 	thHat := lam * thFreq
+	hooks := r.p.Hooks
 
 	kept := entries[:0]
 	var frequent int64
 	for _, e := range entries {
-		if meets(e.sup, thFreq) {
+		chars := e.chars
+		haveChars := r.wide
+		if core.Meets(e.sup, thFreq) {
 			frequent++
-			chars := e.chars
-			if !r.wide {
+			if !haveChars {
 				chars = alpha.DecodePacked(e.code, i)
+				haveChars = true
 			}
-			r.res.Patterns = append(r.res.Patterns, core.Pattern{
-				Chars:   chars,
-				Support: e.sup,
-				Ratio:   float64(e.sup) / nl,
-			})
+			if hooks == nil || hooks.Emit == nil || hooks.Emit(chars) {
+				p := core.Pattern{
+					Chars:   chars,
+					Support: e.sup,
+					Ratio:   float64(e.sup) / nl,
+				}
+				r.res.Patterns = append(r.res.Patterns, p)
+				if hooks != nil && hooks.OnFrequent != nil {
+					hooks.OnFrequent(p)
+				}
+			}
 		}
-		if meets(e.sup, thHat) {
+		if core.Meets(e.sup, thHat) {
+			if hooks != nil && hooks.KeepCandidate != nil {
+				if !haveChars {
+					chars = alpha.DecodePacked(e.code, i)
+				}
+				if !hooks.KeepCandidate(chars) {
+					continue
+				}
+			}
 			kept = append(kept, e)
 		}
 	}

@@ -77,7 +77,7 @@ func estimateN(counter *combinat.Counter, p core.Params, start []pil.CodeList, e
 	nk0 := counter.NlFloat(k0)
 	for k := k0 + 1; k <= counter.L1(); k++ {
 		th := embound.LambdaPrime(counter, k, k-k0, p.EmOrder, em) * p.MinSupport * nk0
-		if meets(maxSup, th) {
+		if core.Meets(maxSup, th) {
 			n = k
 		}
 	}

@@ -144,7 +144,7 @@ func FrequentPatterns(s *seq.Sequence, g combinat.Gap, rho float64, minLen, maxL
 				return err
 			}
 			nl := counter.NlFloat(l)
-			if nl > 0 && float64(sup) >= rho*nl*(1-1e-12) {
+			if nl > 0 && core.Meets(sup, rho*nl) {
 				out = append(out, core.Pattern{
 					Chars:   string(prefix),
 					Support: sup,

@@ -1,0 +1,64 @@
+package query_test
+
+import (
+	"runtime"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	seqgen "permine/internal/gen"
+	"permine/internal/query"
+)
+
+// BenchmarkTopK measures a top-5 MPPm query end to end on a genome-like
+// sequence — the dynamic K-th-support threshold pruning against the
+// same workload as the miners' BenchmarkMineE2E.
+func BenchmarkTopK(b *testing.B) {
+	s, err := seqgen.GenomeLike(2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{
+		Gap:        combinat.Gap{N: 9, M: 12},
+		MinSupport: 0.00003,
+		Workers:    runtime.NumCPU(),
+		TopK:       5,
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := query.Mine(core.AlgoMPPm, s, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkCacheFilter measures answering a raised-threshold query by
+// filtering a cached full-mine result (the subsumption path) — the work
+// the daemon does instead of re-mining on a subsumption cache hit.
+func BenchmarkCacheFilter(b *testing.B) {
+	s, err := seqgen.GenomeLike(2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{Gap: combinat.Gap{N: 9, M: 12}, MinSupport: 0.00003, Workers: runtime.NumCPU()}
+	cached, err := query.Mine(core.AlgoMPP, s, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := p
+	q.MinSupport = 0.00006
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		derived, ok := query.FromCached(cached, q)
+		if !ok {
+			b.Fatal("FromCached declined")
+		}
+		_ = derived
+	}
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"permine/internal/combinat"
+	"permine/internal/core"
+)
+
+// FromCached derives the answer to a query from a cached plain
+// full-mine result over the same sequence, algorithm and structural
+// parameters, without mining. It returns ok=false whenever the
+// derivation would not be provably byte-identical (same Patterns slice
+// content) to a fresh Mine run with params p — the caller then mines.
+//
+// Validity rules, per relation between the query floor ρq and the
+// cached floor ρc:
+//
+//   - ρq == ρc: any algorithm. Motif queries filter exactly (targeted
+//     runs emit precisely the motif-containing frequent patterns); a
+//     top-K query additionally needs the λ-pruned miners (MPP, MPPm) to
+//     have an empty best-effort region in the cached run (Longest <= N,
+//     see below).
+//   - ρq > ρc: Enumerate always (it is complete by construction at any
+//     floor); MPP only when the cached run's best-effort region is
+//     empty; MPPm and Adaptive never (MPPm re-estimates n from ρs, and
+//     Adaptive's refinement rounds depend on the result set, so a fresh
+//     run may explore differently).
+//   - ρq < ρc: only a top-K Enumerate query whose K-th ranked survivor
+//     still clears the cached floor — then anything a fresh lower-floor
+//     run could add ranks strictly below the K-th and cannot enter the
+//     top K.
+//
+// The Longest <= N gate: when the cached (lower-floor) run found no
+// frequent pattern beyond its completeness bound n, a fresh run at any
+// floor ≥ ρc — including a top-K run whose dynamic threshold only ever
+// rises — finds exactly the theorem-complete set up to n and nothing
+// beyond, so filtering the cached patterns reproduces it. Without the
+// gate, patterns in the best-effort region (length > n) may appear or
+// vanish depending on the exact threshold trajectory, and the cache
+// must not guess.
+func FromCached(cached *core.Result, p core.Params) (*core.Result, bool) {
+	np, err := p.Normalize()
+	if err != nil {
+		return nil, false
+	}
+	cp := cached.Params
+	// Only plain, untruncated full-mine results are derivable, and only
+	// for queries sharing every structural parameter (the threshold ρs
+	// and the query fields TopK/Motif are what may differ).
+	if cp.TopK != 0 || cp.Motif != "" || cached.Truncated {
+		return nil, false
+	}
+	if np.Gap != cp.Gap || np.MaxLen != cp.MaxLen || np.StartLen != cp.StartLen ||
+		np.EmOrder != cp.EmOrder || np.CandidateBudget != cp.CandidateBudget {
+		return nil, false
+	}
+	rhoC, rhoQ := cp.MinSupport, np.MinSupport
+	algo := cached.Algorithm
+	exactBeyond := cached.Longest() <= cached.N
+
+	switch {
+	case rhoQ == rhoC:
+		if np.TopK > 0 && (algo == core.AlgoMPP || algo == core.AlgoMPPm) && !exactBeyond {
+			return nil, false
+		}
+	case rhoQ > rhoC:
+		switch algo {
+		case core.AlgoEnumerate:
+		case core.AlgoMPP:
+			if !exactBeyond {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	default: // rhoQ < rhoC
+		if np.TopK == 0 || algo != core.AlgoEnumerate {
+			return nil, false
+		}
+	}
+
+	counter, err := combinat.NewCounter(cached.SeqLen, np.Gap)
+	if err != nil {
+		return nil, false
+	}
+	var m *Motif
+	if np.Motif != "" {
+		m = NewMotif(np.Motif, 0)
+	}
+	kept := make([]core.Pattern, 0, len(cached.Patterns))
+	for _, pat := range cached.Patterns {
+		if m != nil && !m.Matches(pat.Chars) {
+			continue
+		}
+		if !core.Meets(pat.Support, rhoQ*counter.NlFloat(pat.Len())) {
+			continue
+		}
+		kept = append(kept, pat)
+	}
+	if np.TopK > 0 {
+		if rhoQ < rhoC {
+			if len(kept) < np.TopK {
+				return nil, false
+			}
+			ranked := SelectTopK(kept, np.TopK)
+			kth := ranked[np.TopK-1]
+			if !core.Meets(kth.Support, rhoC*counter.NlFloat(kth.Len())) {
+				return nil, false
+			}
+			kept = ranked
+		} else {
+			kept = SelectTopK(kept, np.TopK)
+		}
+	}
+	out := &core.Result{
+		Algorithm: cached.Algorithm,
+		Params:    np,
+		SeqName:   cached.SeqName,
+		SeqLen:    cached.SeqLen,
+		N:         cached.N,
+		AutoN:     cached.AutoN,
+		Em:        cached.Em,
+		EmOrder:   cached.EmOrder,
+		Patterns:  kept,
+		Rounds:    cached.Rounds,
+	}
+	out.SortPatterns()
+	return out, true
+}

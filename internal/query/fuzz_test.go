@@ -1,0 +1,91 @@
+package query_test
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/gen"
+	"permine/internal/query"
+	"permine/internal/seq"
+)
+
+// FuzzSubsumptionFilter fuzzes the subsumption derivation against fresh
+// mining: for random sequences, gap requirements and cached/query
+// threshold pairs, whenever FromCached claims a cached full-mine result
+// answers a query, the derived patterns must be identical to running
+// the query against the sequence from scratch. Declines are fine (the
+// caller mines); a divergent derivation is the bug class this guards.
+//
+// MPP runs with MaxLen 0 (n = l1), so its completeness region spans
+// every possible pattern length and the derivation gate is live for
+// both threshold directions; Enumerate runs are restricted to
+// zero-width gaps, where the baseline terminates naturally well within
+// its candidate budget.
+func FuzzSubsumptionFilter(f *testing.F) {
+	f.Add(uint64(1), uint8(60), uint8(0), uint8(0), uint16(20), uint16(20), uint8(0), uint8(0), false)
+	f.Add(uint64(2), uint8(100), uint8(2), uint8(1), uint16(10), uint16(30), uint8(3), uint8(1), false)
+	f.Add(uint64(3), uint8(80), uint8(4), uint8(1), uint16(5), uint16(15), uint8(0), uint8(2), false)
+	f.Add(uint64(4), uint8(90), uint8(1), uint8(0), uint16(20), uint16(10), uint8(2), uint8(0), true)
+	f.Add(uint64(5), uint8(70), uint8(0), uint8(3), uint16(15), uint16(15), uint8(1), uint8(3), true)
+
+	f.Fuzz(func(t *testing.T, seed uint64, lengthB, gapN, gapW uint8, rhoCB, rhoQB uint16, topK, motifPick uint8, useEnum bool) {
+		length := 40 + int(lengthB)%101 // 40..140
+		g := combinat.Gap{N: int(gapN) % 5}
+		g.M = g.N + int(gapW)%4
+		algo := core.AlgoMPP
+		if useEnum {
+			algo = core.AlgoEnumerate
+			g.M = g.N // zero width keeps enumeration tractable
+		}
+		rhoC := 0.001 + float64(rhoCB%200)/1000
+		rhoQ := 0.001 + float64(rhoQB%200)/1000
+
+		s, err := gen.Uniform(seq.DNA, "fuzz", length, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := core.Params{Gap: g, MinSupport: rhoC, CandidateBudget: 50_000_000}
+		cached, err := query.Mine(algo, s, base)
+		if err != nil {
+			t.Skipf("cached mine: %v", err)
+		}
+
+		q := base
+		q.MinSupport = rhoQ
+		q.TopK = int(topK) % 6
+		switch motifPick % 4 {
+		case 1:
+			q.Motif = "AC"
+		case 2:
+			q.Motif = "GTA"
+		case 3:
+			if len(cached.Patterns) > 0 {
+				q.Motif = cached.Patterns[len(cached.Patterns)-1].Chars
+			}
+		}
+
+		derived, ok := query.FromCached(cached, q)
+		if !ok {
+			return
+		}
+		fresh, err := query.Mine(algo, s, q)
+		if err != nil {
+			t.Fatalf("fresh mine after FromCached accepted: %v", err)
+		}
+		if derived.Algorithm != fresh.Algorithm || derived.N != fresh.N {
+			t.Fatalf("derived metadata %v/n=%d, fresh %v/n=%d",
+				derived.Algorithm, derived.N, fresh.Algorithm, fresh.N)
+		}
+		if len(derived.Patterns) != len(fresh.Patterns) {
+			t.Fatalf("derived %d patterns, fresh %d (ρc=%v ρq=%v topK=%d motif=%q)",
+				len(derived.Patterns), len(fresh.Patterns), rhoC, rhoQ, q.TopK, q.Motif)
+		}
+		for i := range fresh.Patterns {
+			if derived.Patterns[i] != fresh.Patterns[i] {
+				t.Fatalf("pattern[%d]: derived %+v, fresh %+v (ρc=%v ρq=%v topK=%d motif=%q)",
+					i, derived.Patterns[i], fresh.Patterns[i], rhoC, rhoQ, q.TopK, q.Motif)
+			}
+		}
+	})
+}

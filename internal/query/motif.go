@@ -1,0 +1,69 @@
+package query
+
+import "strings"
+
+// Motif is a compiled targeted-mining query: the motif characters plus
+// the subject's pattern-length ceiling l2 (no offset sequence — hence
+// no frequent pattern — exists beyond l2).
+type Motif struct {
+	chars string
+	bound int
+}
+
+// NewMotif compiles a motif. bound is the subject's l2
+// (combinat.L2(L, gap)); pass 0 when only Matches will be used.
+func NewMotif(chars string, bound int) *Motif {
+	return &Motif{chars: chars, bound: bound}
+}
+
+// Matches reports whether an emitted pattern contains the motif. It is
+// the targeted query's result filter (core.MineHooks.Emit).
+func (m *Motif) Matches(chars string) bool { return strings.Contains(chars, m.chars) }
+
+// CanLead reports whether a frequent pattern q can still lead to a
+// result: whether any pattern of length ≤ l2 contains both q and the
+// motif as substrings. It is the targeted query's candidate filter
+// (core.MineHooks.KeepCandidate).
+//
+// Dropping q when CanLead is false is sound: every descendant of q in
+// candidate generation contains q as a substring, so a descendant
+// containing the motif would itself be a ≤ l2 pattern containing both.
+// Keeping is complete: for any result pattern P (which contains the
+// motif and has length ≤ l2), every substring q of P merges with the
+// motif inside P, so CanLead(q) holds — targeted runs prune exactly the
+// hat entries whose subtrees are result-free, and emit the same
+// motif-containing patterns as a plain run.
+func (m *Motif) CanLead(q string) bool {
+	if len(q) >= len(m.chars) {
+		if strings.Contains(q, m.chars) {
+			return true
+		}
+	} else if strings.Contains(m.chars, q) {
+		return true
+	}
+	return len(q)+len(m.chars)-maxOverlap(q, m.chars) <= m.bound
+}
+
+// maxOverlap returns the longest overlap available when merging a and b
+// into one superstring: a suffix of either that is a prefix of the
+// other. (Full containment is handled by the callers.)
+func maxOverlap(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	best := 0
+	for k := n; k > 0; k-- {
+		if a[len(a)-k:] == b[:k] {
+			best = k
+			break
+		}
+	}
+	for k := n; k > best; k-- {
+		if b[len(b)-k:] == a[:k] {
+			best = k
+			break
+		}
+	}
+	return best
+}

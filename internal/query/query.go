@@ -1,0 +1,132 @@
+// Package query is the interactive layer over the miners: it answers
+// the query shapes users actually issue — "the K best patterns"
+// (Params.TopK) and "patterns containing motif X" (Params.Motif) — and
+// derives answers from previously cached full-mine results when that is
+// provably equivalent to mining afresh (FromCached).
+//
+// Top-K mining threads a bounded heap's K-th support ratio into the
+// level-wise miners as a dynamic threshold (core.MineHooks.Threshold),
+// so candidate subtrees are Apriori-pruned against the current K-th
+// support rather than the user's floor. Targeted mining filters emitted
+// patterns to those containing the motif and drops hat entries that can
+// no longer lead to one (Motif.CanLead), which in particular restricts
+// the seed level to motif-compatible patterns.
+//
+// Only MPP and MPPm take hooks: their level loops are where pruning
+// pays. Adaptive's refinement rounds and Enumerate's exhaustive sweep
+// depend on the plain result set, so those algorithms run unmodified
+// and are filtered afterwards — trivially identical to their oracles.
+package query
+
+import (
+	"fmt"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/mine"
+	"permine/internal/seq"
+)
+
+// Mine answers a query against s: a plain mining run when neither TopK
+// nor Motif is set, otherwise the corresponding top-K / targeted run.
+// Results are in the miners' canonical order (length, then
+// lexicographic); for top-K they are the K best by support ratio (ties:
+// shorter, then lexicographically smaller, first). A truncated
+// enumeration run returns its partial result alongside the wrapped
+// core.ErrBudgetExceeded, as mine.Enumerate does.
+func Mine(algo core.Algorithm, s *seq.Sequence, p core.Params) (*core.Result, error) {
+	np, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateMotif(s.Alphabet(), np.Motif); err != nil {
+		return nil, err
+	}
+	if np.TopK == 0 && np.Motif == "" {
+		return dispatch(algo, s, np)
+	}
+
+	switch algo {
+	case core.AlgoMPP, core.AlgoMPPm:
+		hooked := np
+		hooks := &core.MineHooks{}
+		var col *Collector
+		if np.TopK > 0 {
+			col = NewCollector(np.TopK, np.MinSupport)
+			hooks.Threshold = col.Threshold
+			hooks.OnFrequent = col.Observe
+		}
+		if np.Motif != "" {
+			m := NewMotif(np.Motif, combinat.L2(s.Len(), np.Gap))
+			hooks.Emit = m.Matches
+			hooks.KeepCandidate = m.CanLead
+		}
+		hooked.Hooks = hooks
+		res, err := dispatch(algo, s, hooked)
+		if res != nil {
+			res.Params.Hooks = nil
+			finish(res, np)
+		}
+		return res, err
+	default:
+		// Adaptive / Enumerate: plain run, then filter and select.
+		plain := np
+		plain.TopK = 0
+		plain.Motif = ""
+		res, err := dispatch(algo, s, plain)
+		if res != nil {
+			if np.Motif != "" {
+				m := NewMotif(np.Motif, 0)
+				kept := res.Patterns[:0]
+				for _, pat := range res.Patterns {
+					if m.Matches(pat.Chars) {
+						kept = append(kept, pat)
+					}
+				}
+				res.Patterns = kept
+			}
+			res.Params.TopK = np.TopK
+			res.Params.Motif = np.Motif
+			finish(res, np)
+		}
+		return res, err
+	}
+}
+
+// finish applies top-K selection and restores the canonical result
+// order (top-K selection ranks by ratio; results stay length/lex sorted
+// like every other mining result).
+func finish(res *core.Result, np core.Params) {
+	if np.TopK > 0 {
+		res.Patterns = SelectTopK(res.Patterns, np.TopK)
+	}
+	res.SortPatterns()
+}
+
+// ValidateMotif checks a targeted query's motif against the subject
+// alphabet. The empty motif (no targeting) is valid.
+func ValidateMotif(alpha *seq.Alphabet, motif string) error {
+	if motif == "" {
+		return nil
+	}
+	if err := alpha.Validate(motif); err != nil {
+		return fmt.Errorf("query: invalid motif %q: %w", motif, err)
+	}
+	return nil
+}
+
+// dispatch routes to the named miner.
+func dispatch(algo core.Algorithm, s *seq.Sequence, p core.Params) (*core.Result, error) {
+	switch algo {
+	case core.AlgoMPP:
+		return mine.MPP(s, p)
+	case core.AlgoMPPm:
+		return mine.MPPm(s, p)
+	case core.AlgoAdaptive:
+		return mine.Adaptive(s, p)
+	case core.AlgoEnumerate:
+		return mine.Enumerate(s, p)
+	default:
+		return nil, fmt.Errorf("query: unknown algorithm %s", algo)
+	}
+}

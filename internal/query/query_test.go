@@ -1,0 +1,422 @@
+package query_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	"permine/internal/gen"
+	"permine/internal/query"
+	"permine/internal/seq"
+)
+
+// queryConfig is one cell of the differential grid: a random DNA subject
+// plus gap requirement and support floor chosen so that no frequent
+// pattern approaches the miners' completeness bound n (the top-K
+// equivalence below holds in the completeness region; see
+// DESIGN.md on the best-effort caveat).
+type queryConfig struct {
+	seed   uint64
+	length int
+	g      combinat.Gap
+	rho    float64
+}
+
+// Gap widths stay at most one so the enumeration baseline terminates
+// naturally within its candidate budget (wider windows explode before
+// running dry, and truncated runs cannot anchor byte-identity checks).
+var queryConfigs = []queryConfig{
+	{1, 90, combinat.Gap{N: 0, M: 0}, 0.02},
+	{6, 96, combinat.Gap{N: 5, M: 6}, 0.02},
+	{7, 80, combinat.Gap{N: 4, M: 5}, 0.005},
+}
+
+// queryAlgos are the algorithms under differential test. MPP runs with
+// MaxLen 0 (n = l1, complete everywhere); MPPm's automatic n is checked
+// per run against the longest pattern found.
+var queryAlgos = []core.Algorithm{core.AlgoMPP, core.AlgoMPPm, core.AlgoAdaptive, core.AlgoEnumerate}
+
+func (c queryConfig) name() string {
+	return fmt.Sprintf("seed%d_L%d_gap%d-%d", c.seed, c.length, c.g.N, c.g.M)
+}
+
+func (c queryConfig) sequence(t *testing.T) *seq.Sequence {
+	t.Helper()
+	s, err := gen.Uniform(seq.DNA, c.name(), c.length, c.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func (c queryConfig) params() core.Params {
+	return core.Params{Gap: c.g, MinSupport: c.rho}
+}
+
+// fullMine runs the plain (no query fields) mine for one algorithm and
+// asserts the run has an empty best-effort region, the precondition for
+// top-K equivalence on the λ-pruned miners.
+func fullMine(t *testing.T, algo core.Algorithm, s *seq.Sequence, p core.Params) *core.Result {
+	t.Helper()
+	res, err := query.Mine(algo, s, p)
+	if err != nil {
+		t.Fatalf("%s full mine: %v", algo, err)
+	}
+	if res.Longest() > res.N {
+		t.Fatalf("%s: longest pattern %d exceeds completeness bound n=%d; pick a config without a best-effort region",
+			algo, res.Longest(), res.N)
+	}
+	return res
+}
+
+// samePatterns fails unless got and want are identical pattern slices
+// (chars, support and ratio, in the same order).
+func samePatterns(t *testing.T, label string, got, want []core.Pattern) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d patterns, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: pattern[%d] = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// filterMotif is the oracle for targeted mining: keep the patterns
+// containing the motif, preserving order.
+func filterMotif(ps []core.Pattern, motif string) []core.Pattern {
+	var kept []core.Pattern
+	for _, p := range ps {
+		if strings.Contains(p.Chars, motif) {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// sortedTopK is the oracle for top-K mining: rank the full result set,
+// take the first K, restore canonical (length, lexicographic) order.
+func sortedTopK(ps []core.Pattern, k int) []core.Pattern {
+	top := query.SelectTopK(ps, k)
+	res := core.Result{Patterns: append([]core.Pattern(nil), top...)}
+	res.SortPatterns()
+	return res.Patterns
+}
+
+// pickMotifs derives deterministic test motifs from a full result set:
+// a whole frequent pattern, a fragment of one, and a 3-mer absent from
+// every frequent pattern (expected to yield an empty targeted result).
+func pickMotifs(t *testing.T, full []core.Pattern) (present, fragment, absent string) {
+	t.Helper()
+	if len(full) == 0 {
+		t.Fatal("full mine found no patterns; fixture broken")
+	}
+	longest := full[len(full)-1].Chars
+	present = longest
+	fragment = longest[:2]
+	letters := "ACGT"
+	for _, a := range letters {
+		for _, b := range letters {
+			for _, c := range letters {
+				cand := string(a) + string(b) + string(c)
+				found := false
+				for _, p := range full {
+					if strings.Contains(p.Chars, cand) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return present, fragment, cand
+				}
+			}
+		}
+	}
+	t.Fatal("every 3-mer occurs in some frequent pattern; fixture broken")
+	return
+}
+
+func withAlgoParams(algo core.Algorithm, p core.Params) core.Params {
+	switch algo {
+	case core.AlgoMPPm:
+		p.EmOrder = 6
+	case core.AlgoAdaptive:
+		p.MaxLen = 4
+	case core.AlgoEnumerate:
+		p.CandidateBudget = 50_000_000
+	}
+	return p
+}
+
+// TestTopKMatchesFullMine checks the tentpole equivalence: mining with
+// Params.TopK set must return exactly the K best patterns of a full
+// mine (ranked by ratio, ties by shorter length then lexicographic),
+// re-sorted into canonical order — for every algorithm, even though
+// MPP/MPPm prune dynamically against the K-th support while
+// Adaptive/Enumerate select after a plain run.
+func TestTopKMatchesFullMine(t *testing.T) {
+	for _, cfg := range queryConfigs {
+		t.Run(cfg.name(), func(t *testing.T) {
+			s := cfg.sequence(t)
+			for _, algo := range queryAlgos {
+				full := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+				for _, k := range []int{1, 2, 5, len(full.Patterns), len(full.Patterns) + 10} {
+					if k == 0 {
+						continue
+					}
+					p := withAlgoParams(algo, cfg.params())
+					p.TopK = k
+					got, err := query.Mine(algo, s, p)
+					if err != nil {
+						t.Fatalf("%s topK=%d: %v", algo, k, err)
+					}
+					samePatterns(t, fmt.Sprintf("%s topK=%d", algo, k),
+						got.Patterns, sortedTopK(full.Patterns, k))
+					if got.Params.TopK != k {
+						t.Errorf("%s: result Params.TopK = %d, want %d", algo, got.Params.TopK, k)
+					}
+					if got.Params.Hooks != nil {
+						t.Errorf("%s: result retains hooks", algo)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTargetedMatchesFilteredFullMine checks targeted mining against its
+// oracle: mining with Params.Motif set must return exactly the
+// motif-containing subset of a full mine, for every algorithm. Unlike
+// top-K, this equivalence holds in the best-effort region too (the
+// CanLead candidate filter is sound and complete at any threshold).
+func TestTargetedMatchesFilteredFullMine(t *testing.T) {
+	for _, cfg := range queryConfigs {
+		t.Run(cfg.name(), func(t *testing.T) {
+			s := cfg.sequence(t)
+			for _, algo := range queryAlgos {
+				full := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+				present, fragment, absent := pickMotifs(t, full.Patterns)
+				for _, motif := range []string{present, fragment, absent} {
+					p := withAlgoParams(algo, cfg.params())
+					p.Motif = motif
+					got, err := query.Mine(algo, s, p)
+					if err != nil {
+						t.Fatalf("%s motif=%q: %v", algo, motif, err)
+					}
+					samePatterns(t, fmt.Sprintf("%s motif=%q", algo, motif),
+						got.Patterns, filterMotif(full.Patterns, motif))
+				}
+				p := withAlgoParams(algo, cfg.params())
+				p.Motif = absent
+				got, err := query.Mine(algo, s, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Patterns) != 0 {
+					t.Errorf("%s: absent motif %q matched %d patterns", algo, absent, len(got.Patterns))
+				}
+			}
+		})
+	}
+}
+
+// TestTopKTargetedCombined checks the two query shapes composed: the K
+// best among the motif-containing patterns.
+func TestTopKTargetedCombined(t *testing.T) {
+	cfg := queryConfigs[1]
+	s := cfg.sequence(t)
+	for _, algo := range queryAlgos {
+		full := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+		_, fragment, _ := pickMotifs(t, full.Patterns)
+		p := withAlgoParams(algo, cfg.params())
+		p.TopK = 3
+		p.Motif = fragment
+		got, err := query.Mine(algo, s, p)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		want := sortedTopK(filterMotif(full.Patterns, fragment), 3)
+		samePatterns(t, fmt.Sprintf("%s topK=3 motif=%q", algo, fragment), got.Patterns, want)
+	}
+}
+
+// TestValidateMotif checks motif validation: empty is fine, alphabet
+// violations are rejected (and reported through query.Mine as errors).
+func TestValidateMotif(t *testing.T) {
+	if err := query.ValidateMotif(seq.DNA, ""); err != nil {
+		t.Errorf("empty motif: %v", err)
+	}
+	if err := query.ValidateMotif(seq.DNA, "ACGT"); err != nil {
+		t.Errorf("valid motif: %v", err)
+	}
+	if err := query.ValidateMotif(seq.DNA, "ACGX"); err == nil {
+		t.Error("motif with non-alphabet symbol accepted")
+	}
+	cfg := queryConfigs[0]
+	s := cfg.sequence(t)
+	p := cfg.params()
+	p.Motif = "NOPE"
+	if _, err := query.Mine(core.AlgoMPPm, s, p); err == nil {
+		t.Error("Mine accepted an invalid motif")
+	}
+}
+
+// TestFromCachedSameFloor checks subsumption at an identical threshold:
+// every query shape must be derivable from the plain cached result, for
+// every algorithm, byte-identical to mining afresh.
+func TestFromCachedSameFloor(t *testing.T) {
+	cfg := queryConfigs[1]
+	s := cfg.sequence(t)
+	for _, algo := range queryAlgos {
+		cached := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+		_, fragment, _ := pickMotifs(t, cached.Patterns)
+		queries := []core.Params{{}, {TopK: 3}, {Motif: fragment}, {TopK: 2, Motif: fragment}}
+		for _, q := range queries {
+			p := withAlgoParams(algo, cfg.params())
+			p.TopK, p.Motif = q.TopK, q.Motif
+			derived, ok := query.FromCached(cached, p)
+			if !ok {
+				t.Fatalf("%s topK=%d motif=%q: FromCached declined", algo, q.TopK, q.Motif)
+			}
+			fresh, err := query.Mine(algo, s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%s topK=%d motif=%q", algo, q.TopK, q.Motif)
+			samePatterns(t, label, derived.Patterns, fresh.Patterns)
+			if derived.N != cached.N || derived.Algorithm != algo {
+				t.Errorf("%s: derived metadata %v/%d diverges from cached", label, derived.Algorithm, derived.N)
+			}
+			if derived.Levels != nil {
+				t.Errorf("%s: derived result carries per-level metrics", label)
+			}
+		}
+	}
+}
+
+// TestFromCachedHigherFloor checks threshold subsumption upward: a cached
+// run at ρc answers queries at ρq > ρc by filtering — always for
+// Enumerate, for MPP when its best-effort region is empty, and never
+// for MPPm/Adaptive (whose exploration depends on ρs).
+func TestFromCachedHigherFloor(t *testing.T) {
+	cfg := queryConfig{7, 80, combinat.Gap{N: 4, M: 5}, 0.005}
+	s := cfg.sequence(t)
+	rhoQ := 0.01
+
+	for _, algo := range []core.Algorithm{core.AlgoMPP, core.AlgoEnumerate} {
+		cached := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+		for _, q := range []core.Params{{}, {TopK: 2}, {Motif: "AC"}} {
+			p := withAlgoParams(algo, cfg.params())
+			p.MinSupport = rhoQ
+			p.TopK, p.Motif = q.TopK, q.Motif
+			derived, ok := query.FromCached(cached, p)
+			if !ok {
+				t.Fatalf("%s ρq=%v topK=%d motif=%q: FromCached declined", algo, rhoQ, q.TopK, q.Motif)
+			}
+			fresh, err := query.Mine(algo, s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePatterns(t, fmt.Sprintf("%s ρq=%v topK=%d motif=%q", algo, rhoQ, q.TopK, q.Motif),
+				derived.Patterns, fresh.Patterns)
+			if derived.Params.MinSupport != rhoQ {
+				t.Errorf("derived Params.MinSupport = %v, want %v", derived.Params.MinSupport, rhoQ)
+			}
+		}
+	}
+
+	for _, algo := range []core.Algorithm{core.AlgoMPPm, core.AlgoAdaptive} {
+		cached := fullMine(t, algo, s, withAlgoParams(algo, cfg.params()))
+		p := withAlgoParams(algo, cfg.params())
+		p.MinSupport = rhoQ
+		if _, ok := query.FromCached(cached, p); ok {
+			t.Errorf("%s: FromCached accepted a higher floor; its exploration depends on ρs", algo)
+		}
+	}
+}
+
+// TestFromCachedLowerFloorTopK checks the one downward-subsumption rule:
+// a top-K Enumerate query below the cached floor is answerable when K
+// patterns survive (their ratios all clear the cached floor, so nothing
+// a lower-floor run adds can enter the top K).
+func TestFromCachedLowerFloorTopK(t *testing.T) {
+	cfg := queryConfig{7, 80, combinat.Gap{N: 4, M: 5}, 0.01}
+	s := cfg.sequence(t)
+	cached := fullMine(t, core.AlgoEnumerate, s, withAlgoParams(core.AlgoEnumerate, cfg.params()))
+	if len(cached.Patterns) < 3 {
+		t.Fatalf("only %d cached patterns; fixture broken", len(cached.Patterns))
+	}
+
+	p := withAlgoParams(core.AlgoEnumerate, cfg.params())
+	p.MinSupport = cfg.rho / 2
+	p.TopK = 3
+	derived, ok := query.FromCached(cached, p)
+	if !ok {
+		t.Fatal("FromCached declined a derivable lower-floor top-K query")
+	}
+	fresh, err := query.Mine(core.AlgoEnumerate, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePatterns(t, "enumerate ρq<ρc topK=3", derived.Patterns, fresh.Patterns)
+
+	// Fewer cached survivors than K: the lower-floor run may rank fresh
+	// patterns into the top K, so the cache must decline.
+	p.TopK = len(cached.Patterns) + 1
+	if _, ok := query.FromCached(cached, p); ok {
+		t.Error("FromCached answered with fewer cached patterns than K")
+	}
+
+	// Without top-K a lower floor always needs fresh mining.
+	p = withAlgoParams(core.AlgoEnumerate, cfg.params())
+	p.MinSupport = cfg.rho / 2
+	if _, ok := query.FromCached(cached, p); ok {
+		t.Error("FromCached answered a plain query below the cached floor")
+	}
+
+	// MPP's dynamic pruning cannot vouch for a lower floor either.
+	cachedMPP := fullMine(t, core.AlgoMPP, s, cfg.params())
+	p = cfg.params()
+	p.MinSupport = cfg.rho / 2
+	p.TopK = 3
+	if _, ok := query.FromCached(cachedMPP, p); ok {
+		t.Error("FromCached answered a lower-floor top-K query from an MPP result")
+	}
+}
+
+// TestFromCachedDeclines pins the remaining guard rails: structural
+// parameter mismatches, non-plain cached results and truncated runs are
+// never derivable.
+func TestFromCachedDeclines(t *testing.T) {
+	cfg := queryConfigs[0]
+	s := cfg.sequence(t)
+	cached := fullMine(t, core.AlgoEnumerate, s, withAlgoParams(core.AlgoEnumerate, cfg.params()))
+
+	p := withAlgoParams(core.AlgoEnumerate, cfg.params())
+	p.Gap = combinat.Gap{N: cfg.g.N, M: cfg.g.M + 1}
+	if _, ok := query.FromCached(cached, p); ok {
+		t.Error("FromCached ignored a gap mismatch")
+	}
+
+	p = withAlgoParams(core.AlgoEnumerate, cfg.params())
+	p.CandidateBudget = 123
+	if _, ok := query.FromCached(cached, p); ok {
+		t.Error("FromCached ignored a candidate-budget mismatch")
+	}
+
+	topK := *cached
+	topK.Params.TopK = 5
+	if _, ok := query.FromCached(&topK, withAlgoParams(core.AlgoEnumerate, cfg.params())); ok {
+		t.Error("FromCached derived from a top-K (non-plain) cached result")
+	}
+
+	trunc := *cached
+	trunc.Truncated = true
+	if _, ok := query.FromCached(&trunc, withAlgoParams(core.AlgoEnumerate, cfg.params())); ok {
+		t.Error("FromCached derived from a truncated cached result")
+	}
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"container/heap"
+	"sort"
+
+	"permine/internal/core"
+)
+
+// rankLess reports whether a outranks b in top-K selection: higher
+// support ratio first, ties broken by shorter length, then by
+// lexicographically smaller characters. The order is total, so online
+// selection through a bounded heap picks exactly the same K patterns as
+// sorting the complete result set and taking the first K — the basis of
+// the top-K ≡ full-mine-then-take-K differential tests.
+func rankLess(a, b core.Pattern) bool {
+	if a.Ratio != b.Ratio {
+		return a.Ratio > b.Ratio
+	}
+	if len(a.Chars) != len(b.Chars) {
+		return len(a.Chars) < len(b.Chars)
+	}
+	return a.Chars < b.Chars
+}
+
+// Collector is the bounded heap behind top-K mining: it observes every
+// emitted frequent pattern (core.MineHooks.OnFrequent) and exposes the
+// K-th best support ratio seen so far as the run's dynamic threshold
+// (core.MineHooks.Threshold).
+type Collector struct {
+	k     int
+	floor float64
+	h     worstHeap
+}
+
+// NewCollector builds a Collector for the K best patterns over a run
+// whose user floor is the ρs given.
+func NewCollector(k int, floor float64) *Collector {
+	return &Collector{k: k, floor: floor, h: make(worstHeap, 0, k)}
+}
+
+// Observe feeds one emitted frequent pattern into the heap.
+func (c *Collector) Observe(p core.Pattern) {
+	if len(c.h) < c.k {
+		heap.Push(&c.h, p)
+		return
+	}
+	if rankLess(p, c.h[0]) {
+		c.h[0] = p
+		heap.Fix(&c.h, 0)
+	}
+}
+
+// Threshold returns the current effective support-ratio floor: the
+// user's ρs until K patterns have been observed, then the K-th best
+// ratio so far when higher. It is non-decreasing over a run, and never
+// exceeds the final K-th ratio — the K-th best of a subset cannot beat
+// the K-th best of the whole — so raising the miner's threshold to it
+// never suppresses a pattern of the true top K. Patterns tied with the
+// K-th ratio still pass core.Meets at this threshold, so a tie with a
+// better rank (shorter, or lexicographically smaller) can still
+// displace the current K-th.
+func (c *Collector) Threshold() float64 {
+	if len(c.h) < c.k {
+		return c.floor
+	}
+	if r := c.h[0].Ratio; r > c.floor {
+		return r
+	}
+	return c.floor
+}
+
+// worstHeap keeps the worst-ranked of the K best patterns at the root.
+type worstHeap []core.Pattern
+
+func (h worstHeap) Len() int           { return len(h) }
+func (h worstHeap) Less(i, j int) bool { return rankLess(h[j], h[i]) }
+func (h worstHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *worstHeap) Push(x any) { *h = append(*h, x.(core.Pattern)) }
+
+func (h *worstHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// SelectTopK returns the K best of ps by rank, in rank order (all of ps
+// when K >= len(ps)). ps is not modified.
+func SelectTopK(ps []core.Pattern, k int) []core.Pattern {
+	if k >= len(ps) {
+		return ps
+	}
+	ranked := make([]core.Pattern, len(ps))
+	copy(ranked, ps)
+	sort.Slice(ranked, func(i, j int) bool { return rankLess(ranked[i], ranked[j]) })
+	return ranked[:k:k]
+}

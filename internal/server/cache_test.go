@@ -97,6 +97,110 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// keyAt is the cache key for s at a given support floor and query shape.
+func keyAt(s *seq.Sequence, rho float64, topK int, motif string) CacheKey {
+	p := testParams()
+	p.MinSupport = rho
+	p.TopK = topK
+	p.Motif = motif
+	return KeyFor(s, core.AlgoMPP, p)
+}
+
+// resAt builds a distinguishable full-mine result for the floor.
+func resAt(rho float64) *core.Result {
+	p, _ := testParams().Normalize()
+	p.MinSupport = rho
+	return &core.Result{Algorithm: core.AlgoMPP, Params: p}
+}
+
+func TestCacheSubsumptionLookup(t *testing.T) {
+	c := NewCache(8)
+	s := testSeq(t, "s", "ACGTACGTACGT")
+	c.Put(keyAt(s, 0.01, 0, ""), resAt(0.01))
+
+	derived := &core.Result{Algorithm: core.AlgoMPP}
+	derive := func(cached *core.Result) (*core.Result, bool) {
+		if cached.Params.MinSupport != 0.01 {
+			t.Errorf("derive offered floor %v, want 0.01", cached.Params.MinSupport)
+		}
+		return derived, true
+	}
+
+	q := keyAt(s, 0.02, 0, "")
+	res, subsumed, ok := c.Lookup(q, derive)
+	if !ok || !subsumed || res != derived {
+		t.Fatalf("Lookup = (%p, %v, %v), want derived result via subsumption", res, subsumed, ok)
+	}
+	// Without derive (subsumption disabled) the same query misses.
+	if _, _, ok := c.Lookup(q, nil); ok {
+		t.Error("Lookup without derive must not probe the subsumption index")
+	}
+	// Memoising the derivation under its exact key turns the next lookup
+	// into a plain hit.
+	c.Put(q, res)
+	if _, subsumed, ok := c.Lookup(q, derive); !ok || subsumed {
+		t.Errorf("after Put, Lookup = (subsumed=%v, ok=%v), want exact hit", subsumed, ok)
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.SubsumptionHits != 1 || st.Misses != 1 {
+		t.Errorf("hits/subsumption/misses = %d/%d/%d, want 1/1/1", st.Hits, st.SubsumptionHits, st.Misses)
+	}
+	if want := 2.0 / 3.0; st.HitRatio != want {
+		t.Errorf("hit ratio = %v, want %v", st.HitRatio, want)
+	}
+}
+
+func TestCacheSubsumptionProbeOrder(t *testing.T) {
+	c := NewCache(8)
+	s := testSeq(t, "s", "ACGTACGTACGT")
+	for _, rho := range []float64{0.005, 0.01, 0.03, 0.04} {
+		c.Put(keyAt(s, rho, 0, ""), resAt(rho))
+	}
+	// Derived/query results must not enter the probe set.
+	c.Put(keyAt(s, 0.001, 3, "AC"), resAt(0.001))
+
+	var offered []float64
+	_, _, ok := c.Lookup(keyAt(s, 0.02, 0, ""), func(cached *core.Result) (*core.Result, bool) {
+		offered = append(offered, cached.Params.MinSupport)
+		return nil, false
+	})
+	if ok {
+		t.Fatal("every derivation declined; Lookup must miss")
+	}
+	want := []float64{0.01, 0.005, 0.03, 0.04} // at-or-below desc, then above asc
+	if len(offered) != len(want) {
+		t.Fatalf("probed %v, want %v", offered, want)
+	}
+	for i := range want {
+		if offered[i] != want[i] {
+			t.Fatalf("probed %v, want %v", offered, want)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.SubsumptionHits != 0 {
+		t.Errorf("a fully declined probe must count one miss: %+v", st)
+	}
+}
+
+func TestCacheEvictionDropsSubsumptionIndex(t *testing.T) {
+	c := NewCache(1)
+	s := testSeq(t, "s", "ACGTACGTACGT")
+	other := testSeq(t, "o", "TTTTAAAACCCC")
+	c.Put(keyAt(s, 0.01, 0, ""), resAt(0.01))
+	c.Put(KeyFor(other, core.AlgoMPP, testParams()), resAt(0.01)) // evicts s's entry
+
+	derive := func(*core.Result) (*core.Result, bool) {
+		t.Error("derive called with an evicted donor")
+		return nil, false
+	}
+	if _, _, ok := c.Lookup(keyAt(s, 0.02, 0, ""), derive); ok {
+		t.Error("evicted entry answered a subsumption lookup")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(-1)
 	k := KeyFor(testSeq(t, "s", "ACGT"), core.AlgoMPP, testParams())

@@ -12,8 +12,8 @@ import (
 
 	"permine/internal/core"
 	"permine/internal/corpus"
-	"permine/internal/mine"
 	"permine/internal/obs"
+	"permine/internal/query"
 	"permine/internal/seq"
 	"permine/internal/server/store"
 )
@@ -176,6 +176,9 @@ type ManagerConfig struct {
 	// Cache, when non-nil, short-circuits submits whose key hits and
 	// stores successful results.
 	Cache *Cache
+	// DisableSubsumption turns off cross-threshold cache derivation:
+	// with it set, only exact CacheKey hits are served from the cache.
+	DisableSubsumption bool
 	// Metrics, when non-nil, receives job-state transitions and mining
 	// latencies.
 	Metrics *Metrics
@@ -326,6 +329,10 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 		span.RecordError(err)
 		return nil, err
 	}
+	if err := query.ValidateMotif(s.Alphabet(), np.Motif); err != nil {
+		span.RecordError(err)
+		return nil, err
+	}
 	if timeout <= 0 {
 		timeout = m.cfg.JobTimeout
 	}
@@ -355,11 +362,26 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 	span.SetAttr("job", j.id)
 
 	if m.cfg.Cache != nil {
-		if res, ok := m.cfg.Cache.Get(j.cacheKey); ok {
+		// Subsumption derivation: a plain full-mine cached at another
+		// threshold answers this job by filtering when query.FromCached
+		// proves the filtered result identical to a fresh run.
+		var derive func(*core.Result) (*core.Result, bool)
+		if !m.cfg.DisableSubsumption {
+			derive = func(cached *core.Result) (*core.Result, bool) {
+				return query.FromCached(cached, np)
+			}
+		}
+		if res, subsumed, ok := m.cfg.Cache.Lookup(j.cacheKey, derive); ok {
 			j.state = JobDone
 			j.cacheHit = true
 			j.result = res
 			j.levels = append([]core.LevelMetrics(nil), res.Levels...)
+			if subsumed {
+				j.note = "derived from a cached result at another threshold (subsumption)"
+				// Store the derivation under its exact key so the next
+				// identical query hits without re-filtering.
+				m.cfg.Cache.Put(j.cacheKey, res)
+			}
 			now := time.Now()
 			j.startedAt, j.finishedAt = now, now
 			m.register(j)
@@ -367,9 +389,10 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 			m.mu.Unlock()
 			cancel()
 			span.SetAttr("cache_hit", true)
+			span.SetAttr("cache_subsumed", subsumed)
 			m.cfg.Store.AppendSubmit(rec)
 			m.transition(nil, "", JobDone)
-			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len())
+			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len(), "subsumed", subsumed)
 			return j, nil
 		}
 	}
@@ -620,20 +643,10 @@ func (m *Manager) runJob(j *Job) {
 	m.cfg.Logger.Info("job finished", "job", j.id, "state", string(final), "elapsed", elapsed)
 }
 
-// runAlgorithm dispatches to internal/mine.
+// runAlgorithm dispatches through the query layer, which handles plain,
+// top-K and targeted (motif) jobs uniformly.
 func runAlgorithm(algo core.Algorithm, s *seq.Sequence, p core.Params) (*core.Result, error) {
-	switch algo {
-	case core.AlgoMPP:
-		return mine.MPP(s, p)
-	case core.AlgoMPPm:
-		return mine.MPPm(s, p)
-	case core.AlgoAdaptive:
-		return mine.Adaptive(s, p)
-	case core.AlgoEnumerate:
-		return mine.Enumerate(s, p)
-	default:
-		return nil, fmt.Errorf("server: unknown algorithm %v", algo)
-	}
+	return query.Mine(algo, s, p)
 }
 
 // transition forwards a state change to metrics (j reserved for future

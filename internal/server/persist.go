@@ -28,8 +28,16 @@ const (
 // mutable fields (a job not yet enqueued) or hold j.mu.
 func recordForJob(j *Job) store.JobRecord {
 	params, _ := json.Marshal(j.params)
+	kind := ""
+	if j.params.TopK > 0 || j.params.Motif != "" {
+		// Query jobs (top-K / targeted) carry their query fields inside
+		// Params; the kind marks them for observability. Replay treats
+		// them like plain jobs — jobFromRecord round-trips Params.
+		kind = "query"
+	}
 	rec := store.JobRecord{
 		ID:          j.id,
+		Kind:        kind,
 		Algorithm:   j.algorithm.String(),
 		SeqName:     j.seq.Name(),
 		SeqAlphabet: j.seq.Alphabet().Name(),

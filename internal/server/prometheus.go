@@ -38,6 +38,10 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 	p.Sample("permine_cache_hits_total", nil, float64(snap.Cache.Hits))
 	p.Meta("permine_cache_misses_total", "counter", "Result cache misses.")
 	p.Sample("permine_cache_misses_total", nil, float64(snap.Cache.Misses))
+	p.Meta("permine_cache_subsumption_hits_total", "counter", "Jobs served by filtering a cached result mined at another threshold.")
+	p.Sample("permine_cache_subsumption_hits_total", nil, float64(snap.Cache.SubsumptionHits))
+	p.Meta("permine_cache_evictions_total", "counter", "Result cache LRU evictions.")
+	p.Sample("permine_cache_evictions_total", nil, float64(snap.Cache.Evictions))
 
 	p.Meta("permine_store_info", "gauge", "Job store backend (constant 1, labelled).")
 	p.Sample("permine_store_info", []obs.Label{{Name: "backend", Value: snap.Store.Backend}}, 1)

@@ -38,7 +38,10 @@ func fixedSnapshot() MetricsSnapshot {
 		Jobs:          map[string]int64{"done": 3, "running": 1},
 		JobsFinished:  map[string]int64{"done": 3, "failed": 1},
 		QueueDepth:    2,
-		Cache:         CacheStats{Size: 5, Capacity: 128, Hits: 7, Misses: 9, HitRatio: 0.4375},
+		Cache: CacheStats{
+			Size: 5, Capacity: 128, Hits: 7, SubsumptionHits: 2, Misses: 7,
+			Evictions: 3, HitRatio: 0.5625,
+		},
 		Store: store.Stats{
 			Backend: "wal", JournalBytes: 2048, Appends: 21, Fsyncs: 21,
 			WriteErrors: 0, WriteRetries: 1, Compactions: 2,

@@ -8,7 +8,9 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a mining job (JSON, or raw FASTA body
-//	                            with parameters in the query string)
+//	                            with parameters in the query string); params
+//	                            top_k and motif select top-K / targeted
+//	                            query jobs served by internal/query
 //	GET    /v1/jobs             list retained jobs, newest first
 //	GET    /v1/jobs/{id}        job state, per-level progress, result when done
 //	GET    /v1/jobs/{id}/events per-level progress as Server-Sent Events
@@ -64,6 +66,9 @@ type Config struct {
 	// CacheSize bounds the result cache in entries (default 128;
 	// negative disables caching).
 	CacheSize int
+	// DisableSubsumption restricts the cache to exact-key hits,
+	// disabling cross-threshold derivation (see ManagerConfig).
+	DisableSubsumption bool
 	// MaxBodyBytes bounds request bodies via http.MaxBytesReader (default
 	// 64 MiB); oversized uploads get 413 instead of exhausting memory.
 	MaxBodyBytes int64
@@ -169,23 +174,24 @@ func New(cfg Config) *Server {
 	}
 
 	mgr := NewManager(ManagerConfig{
-		Workers:           cfg.Workers,
-		QueueDepth:        cfg.QueueDepth,
-		JobTimeout:        cfg.JobTimeout,
-		Retain:            cfg.Retain,
-		Cache:             cache,
-		Metrics:           metrics,
-		Store:             st,
-		RetryBudget:       cfg.RetryBudget,
-		RetryBackoff:      cfg.RetryBackoff,
-		ShardTimeout:      cfg.ShardTimeout,
-		ShardRetryBudget:  cfg.ShardRetryBudget,
-		ShardRetryBackoff: cfg.ShardRetryBackoff,
-		CorpusMaxInflight: cfg.CorpusMaxInflight,
-		ShardFault:        cfg.ShardFault,
-		Tracer:            tracer,
-		Events:            events,
-		Logger:            cfg.Logger,
+		Workers:            cfg.Workers,
+		QueueDepth:         cfg.QueueDepth,
+		JobTimeout:         cfg.JobTimeout,
+		Retain:             cfg.Retain,
+		Cache:              cache,
+		DisableSubsumption: cfg.DisableSubsumption,
+		Metrics:            metrics,
+		Store:              st,
+		RetryBudget:        cfg.RetryBudget,
+		RetryBackoff:       cfg.RetryBackoff,
+		ShardTimeout:       cfg.ShardTimeout,
+		ShardRetryBudget:   cfg.ShardRetryBudget,
+		ShardRetryBackoff:  cfg.ShardRetryBackoff,
+		CorpusMaxInflight:  cfg.CorpusMaxInflight,
+		ShardFault:         cfg.ShardFault,
+		Tracer:             tracer,
+		Events:             events,
+		Logger:             cfg.Logger,
 	})
 	metrics.queueFn = mgr.QueueDepth
 	metrics.storeFn = st.Stats
@@ -392,6 +398,11 @@ type paramsJSON struct {
 	StartLen        int     `json:"start_len,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	CandidateBudget int64   `json:"candidate_budget,omitempty"`
+	// TopK and Motif select the interactive query kinds served by
+	// internal/query: the K best patterns by support ratio, and/or only
+	// patterns containing the motif.
+	TopK  int    `json:"top_k,omitempty"`
+	Motif string `json:"motif,omitempty"`
 }
 
 func (p paramsJSON) toParams() core.Params {
@@ -403,6 +414,8 @@ func (p paramsJSON) toParams() core.Params {
 		StartLen:        p.StartLen,
 		Workers:         p.Workers,
 		CandidateBudget: p.CandidateBudget,
+		TopK:            p.TopK,
+		Motif:           p.Motif,
 	}
 }
 
@@ -528,6 +541,8 @@ func jobRequestFromQuery(r *http.Request, fasta string) (jobRequest, error) {
 	geti("em_order", &req.Params.EmOrder)
 	geti("start_len", &req.Params.StartLen)
 	geti("workers", &req.Params.Workers)
+	geti("top_k", &req.Params.TopK)
+	req.Params.Motif = q.Get("motif")
 	if q.Has("min_support") {
 		if req.Params.MinSupport, err = strconv.ParseFloat(q.Get("min_support"), 64); err != nil {
 			return req, fmt.Errorf("query parameter min_support: %w", err)

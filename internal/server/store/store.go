@@ -25,8 +25,10 @@ type JobRecord struct {
 	ID        string `json:"id"`
 	Algorithm string `json:"algorithm"`
 
-	// Kind distinguishes job flavours: empty for a single-sequence mining
-	// job, "corpus" for a sharded multi-sequence corpus job (SeqData then
+	// Kind distinguishes job flavours: empty for a plain single-sequence
+	// mining job, "query" for a top-K / targeted (motif) query job (the
+	// query fields ride inside Params and replay like plain jobs), and
+	// "corpus" for a sharded multi-sequence corpus job (SeqData then
 	// holds the canonical multi-FASTA rendering of every shard).
 	Kind string `json:"kind,omitempty"`
 

@@ -46,8 +46,8 @@ import (
 	"permine/internal/combinat"
 	"permine/internal/core"
 	"permine/internal/embound"
-	"permine/internal/mine"
 	"permine/internal/pil"
+	"permine/internal/query"
 	"permine/internal/seq"
 )
 
@@ -130,40 +130,38 @@ func WriteFASTA(w io.Writer, width int, seqs ...*Sequence) error {
 // MPP runs the paper's MPP algorithm (Figure 3). Params.MaxLen is the
 // estimate n of the longest frequent pattern length; 0 means the worst
 // case n = l1.
-func MPP(s *Sequence, p Params) (*Result, error) { return mine.MPP(s, p) }
+func MPP(s *Sequence, p Params) (*Result, error) { return query.Mine(AlgoMPP, s, p) }
 
 // MPPm runs the paper's MPPm algorithm: MPP with n chosen automatically
 // via the e_m bound of Theorem 2. Params.EmOrder is the paper's m
 // (default 8).
-func MPPm(s *Sequence, p Params) (*Result, error) { return mine.MPPm(s, p) }
+func MPPm(s *Sequence, p Params) (*Result, error) { return query.Mine(AlgoMPPm, s, p) }
 
 // Adaptive runs the adaptive-n refinement of the paper's Section 6:
 // repeated MPP runs growing n to the longest pattern found, to fixpoint.
-func Adaptive(s *Sequence, p Params) (*Result, error) { return mine.Adaptive(s, p) }
+func Adaptive(s *Sequence, p Params) (*Result, error) { return query.Mine(AlgoAdaptive, s, p) }
 
 // Enumerate runs the no-pruning baseline (Table 3's "enumeration
 // algorithm"). It is exponential; Params.CandidateBudget bounds the work
 // and a truncated run returns a wrapped ErrBudgetExceeded.
-func Enumerate(s *Sequence, p Params) (*Result, error) { return mine.Enumerate(s, p) }
+func Enumerate(s *Sequence, p Params) (*Result, error) { return query.Mine(AlgoEnumerate, s, p) }
 
 // Mine dispatches to the named algorithm under the given context. The
 // context is checked between levels and candidate batches; a cancelled run
 // returns a *CancelledError wrapping ctx.Err(). This is the entry point
 // long-running callers (servers, pipelines) should prefer.
+//
+// All entry points route through the internal/query layer, so
+// Params.TopK (the K best patterns by support ratio) and Params.Motif
+// (only patterns containing a character string) work everywhere.
 func Mine(ctx context.Context, algo Algorithm, s *Sequence, p Params) (*Result, error) {
-	p.Ctx = ctx
 	switch algo {
-	case AlgoMPP:
-		return mine.MPP(s, p)
-	case AlgoMPPm:
-		return mine.MPPm(s, p)
-	case AlgoAdaptive:
-		return mine.Adaptive(s, p)
-	case AlgoEnumerate:
-		return mine.Enumerate(s, p)
+	case AlgoMPP, AlgoMPPm, AlgoAdaptive, AlgoEnumerate:
 	default:
 		return nil, &UnknownAlgorithmError{Algorithm: algo}
 	}
+	p.Ctx = ctx
+	return query.Mine(algo, s, p)
 }
 
 // UnknownAlgorithmError reports a Mine call with an Algorithm value

@@ -55,6 +55,8 @@ BenchmarkSupport$       1000x   .
 BenchmarkEmOrder8$      10x     .
 BenchmarkMineLevel$     100x    ./internal/mine
 BenchmarkMineE2E$       5x      ./internal/mine
+BenchmarkTopK$          5x      ./internal/query
+BenchmarkCacheFilter$   200x    ./internal/query
 '
     echo "$groups" | while read -r pattern iters pkg; do
         [ -n "$pattern" ] || continue
