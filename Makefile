@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/async/ ./internal/corpus/... ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
+	$(GO) test -race ./internal/async/ ./internal/cluster/... ./internal/corpus/... ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
 
 # The full pre-merge gate: build, vet, tests, the race detector over
 # the concurrent packages, a short fuzz pass over the PIL invariants,
@@ -43,13 +43,15 @@ bench-check:
 	sh scripts/bench-check.sh
 
 # Short fuzz pass over the PIL list invariants (Join window semantics,
-# Merge support conservation, arena/heap join equivalence). Go allows one
-# -fuzz target per invocation, hence the three runs.
+# Merge support conservation, arena/heap join equivalence) and the cluster
+# wire-protocol frame decoder. Go allows one -fuzz target per invocation,
+# hence the separate runs.
 FUZZTIME ?= 5s
 fuzz-short:
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoin$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzMerge$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoinOracle$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz 'FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md).
 experiments:

@@ -19,9 +19,17 @@
 // corpus job resumes from the incomplete shards only. See README.md
 // ("Corpus mining").
 //
+// With -cluster-role coordinator and -cluster-peers set, corpus shards
+// and whole jobs are placed across the peer daemons by consistent hash
+// over sequence content (keeping the result cache node-affine), peers are
+// health-checked with jittered heartbeats, and work assigned to a node
+// that dies is requeued onto survivors through the normal per-shard retry
+// budget. See README.md ("Clustering").
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs are
 // cancelled at the next level boundary and the listener closes once the
-// pool is idle (bounded by -drain-timeout).
+// pool is idle (bounded by -drain-timeout); /readyz turns 503 the moment
+// the drain starts.
 package main
 
 import (
@@ -36,12 +44,24 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"permine"
 	"permine/internal/server"
 )
+
+// splitPeers parses the -cluster-peers list, tolerating blanks and spaces.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	return peers
+}
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
@@ -72,6 +92,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		shardBackoff = fs.Duration("shard-retry-backoff", 200*time.Millisecond, "base delay before a corpus shard retries (doubles per attempt, jittered)")
 		maxInflight  = fs.Int("corpus-max-inflight", 0, "corpus shards mined concurrently per job (0 = 2x workers)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
+		clusterRole  = fs.String("cluster-role", "", `cluster mode: "" standalone, "coordinator" places work on peers, "peer" serves forwarded work`)
+		clusterPeers = fs.String("cluster-peers", "", "comma-separated peer base URLs the coordinator heartbeats and forwards to")
+		clusterSelf  = fs.String("cluster-self", "", "this node's advertised base URL (journaled on local placements)")
+		clusterHB    = fs.Duration("cluster-heartbeat", time.Second, "heartbeat probe interval (jittered)")
+		clusterSusp  = fs.Int("cluster-suspect-after", 2, "consecutive probe failures before a peer is suspect")
+		clusterDead  = fs.Int("cluster-dead-after", 4, "consecutive probe failures before a peer is dead and leaves the ring")
+		shardDelay   = fs.Duration("shard-delay", 0, "debug: stretch every local mining run by this sleep")
 		traceSpans   = fs.Int("trace-spans", 0, "finished tracing spans kept for /v1/traces (0 = default 4096)")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
@@ -92,26 +119,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		Version:            permine.Version,
-		Workers:            *workers,
-		QueueDepth:         *queueDepth,
-		CacheSize:          *cacheSize,
-		DisableSubsumption: !*cacheSubsume,
-		Retain:             *retain,
-		JobTimeout:         *jobTimeout,
-		MaxTimeout:         *maxTimeout,
-		MaxSyncSeqLen:      *syncLen,
-		MaxBodyBytes:       *maxBody,
-		DataDir:            *dataDir,
-		CompactBytes:       *compactBytes,
-		RetryBudget:        *retryBudget,
-		RetryBackoff:       *retryBackoff,
-		ShardTimeout:       *shardTimeout,
-		ShardRetryBudget:   *shardBudget,
-		ShardRetryBackoff:  *shardBackoff,
-		CorpusMaxInflight:  *maxInflight,
-		TraceSpans:         *traceSpans,
-		Logger:             logger,
+		Version:             permine.Version,
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		CacheSize:           *cacheSize,
+		DisableSubsumption:  !*cacheSubsume,
+		Retain:              *retain,
+		JobTimeout:          *jobTimeout,
+		MaxTimeout:          *maxTimeout,
+		MaxSyncSeqLen:       *syncLen,
+		MaxBodyBytes:        *maxBody,
+		DataDir:             *dataDir,
+		CompactBytes:        *compactBytes,
+		RetryBudget:         *retryBudget,
+		RetryBackoff:        *retryBackoff,
+		ShardTimeout:        *shardTimeout,
+		ShardRetryBudget:    *shardBudget,
+		ShardRetryBackoff:   *shardBackoff,
+		CorpusMaxInflight:   *maxInflight,
+		TraceSpans:          *traceSpans,
+		ClusterRole:         *clusterRole,
+		ClusterPeers:        splitPeers(*clusterPeers),
+		ClusterSelf:         *clusterSelf,
+		ClusterHeartbeat:    *clusterHB,
+		ClusterSuspectAfter: *clusterSusp,
+		ClusterDeadAfter:    *clusterDead,
+		ShardDelay:          *shardDelay,
+		Logger:              logger,
 	})
 
 	httpSrv := &http.Server{

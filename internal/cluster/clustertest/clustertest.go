@@ -1,0 +1,181 @@
+// Package clustertest provides deterministic network-fault injection for
+// cluster tests, in the style of corpustest.Faults: faults are scripted
+// per (peer, RPC path) before the test runs, so chaos tests replay the
+// exact same failure sequence every time instead of relying on timing.
+package clustertest
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"permine/internal/cluster"
+)
+
+// FaultKind selects how an intercepted request misbehaves.
+type FaultKind int
+
+const (
+	// Drop fails the request immediately, like a connection refused.
+	Drop FaultKind = iota
+	// Delay holds the request for Fault.Delay, then forwards it.
+	Delay
+	// Hang blocks until the request context dies — a black-holed peer.
+	Hang
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one scripted behaviour. Count bounds how many requests it
+// applies to (0 means every request until cleared).
+type Fault struct {
+	Kind  FaultKind
+	Delay time.Duration // for Delay
+	Count int
+}
+
+type rule struct {
+	fault Fault
+	used  int
+}
+
+// Faults wraps a cluster transport and injects scripted faults. The zero
+// value is unusable; use New. Safe for concurrent use.
+type Faults struct {
+	inner cluster.Doer
+
+	mu          sync.Mutex
+	rules       map[string]map[string]*rule // peer addr → path ("" = any) → rule
+	partitioned map[string]bool
+	injected    map[string]int // "addr path kind" → count
+}
+
+// New wraps inner (nil uses a plain http.Client) with fault injection.
+func New(inner cluster.Doer) *Faults {
+	if inner == nil {
+		inner = &http.Client{}
+	}
+	return &Faults{
+		inner:       inner,
+		rules:       make(map[string]map[string]*rule),
+		partitioned: make(map[string]bool),
+		injected:    make(map[string]int),
+	}
+}
+
+// Set scripts a fault for requests to addr at path (use "" to match every
+// path). Overwrites any previous rule for that (addr, path).
+func (f *Faults) Set(addr, path string, fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.rules[addr]
+	if m == nil {
+		m = make(map[string]*rule)
+		f.rules[addr] = m
+	}
+	m[path] = &rule{fault: fault}
+}
+
+// Clear removes the rule for (addr, path).
+func (f *Faults) Clear(addr, path string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m := f.rules[addr]; m != nil {
+		delete(m, path)
+	}
+}
+
+// Partition black-holes every request to addr (drop, unbounded) until
+// Heal — heartbeats and mining calls alike, like a network partition.
+func (f *Faults) Partition(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned[addr] = true
+}
+
+// Heal ends a Partition of addr.
+func (f *Faults) Heal(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitioned, addr)
+}
+
+// Injected reports how many faults of the given kind fired against
+// (addr, path). Partition drops count under kind Drop with path "".
+func (f *Faults) Injected(addr, path string, kind FaultKind) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[injectKey(addr, path, kind)]
+}
+
+func injectKey(addr, path string, kind FaultKind) string {
+	return addr + " " + path + " " + kind.String()
+}
+
+// Do implements cluster.Doer.
+func (f *Faults) Do(req *http.Request) (*http.Response, error) {
+	addr, path := splitTarget(req)
+
+	f.mu.Lock()
+	if f.partitioned[addr] {
+		f.injected[injectKey(addr, "", Drop)]++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("clustertest: partitioned from %s", addr)
+	}
+	var fault *Fault
+	if m := f.rules[addr]; m != nil {
+		r := m[path]
+		if r == nil {
+			r = m[""]
+		}
+		if r != nil && (r.fault.Count == 0 || r.used < r.fault.Count) {
+			r.used++
+			fv := r.fault
+			fault = &fv
+			f.injected[injectKey(addr, path, fv.Kind)]++
+		}
+	}
+	f.mu.Unlock()
+
+	if fault != nil {
+		switch fault.Kind {
+		case Drop:
+			return nil, fmt.Errorf("clustertest: dropped %s %s", addr, path)
+		case Delay:
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(fault.Delay):
+			}
+		case Hang:
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		}
+	}
+	return f.inner.Do(req)
+}
+
+// splitTarget resolves a request to the (addr, path) key space used by
+// Set: addr is scheme://host, path is the URL path.
+func splitTarget(req *http.Request) (addr, path string) {
+	u := req.URL
+	addr = u.Scheme + "://" + u.Host
+	path = u.Path
+	if i := strings.Index(path, "?"); i >= 0 {
+		path = path[:i]
+	}
+	return addr, path
+}

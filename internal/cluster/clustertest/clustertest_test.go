@@ -1,0 +1,113 @@
+package clustertest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFaultsScripting(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	f := New(nil)
+	const hb = "/v1/cluster/heartbeat"
+
+	get := func(path string) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatalf("NewRequest: %v", err)
+		}
+		return f.Do(req)
+	}
+
+	// Drop exactly two heartbeats, then pass.
+	f.Set(ts.URL, hb, Fault{Kind: Drop, Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := get(hb); err == nil {
+			t.Fatalf("drop %d: request succeeded", i)
+		}
+	}
+	resp, err := get(hb)
+	if err != nil {
+		t.Fatalf("post-budget request failed: %v", err)
+	}
+	resp.Body.Close()
+	if got := f.Injected(ts.URL, hb, Drop); got != 2 {
+		t.Fatalf("Injected drops = %d, want 2", got)
+	}
+
+	// Other paths are untouched by a path-scoped rule.
+	f.Set(ts.URL, hb, Fault{Kind: Drop})
+	resp, err = get("/v1/cluster/mine")
+	if err != nil {
+		t.Fatalf("unscripted path failed: %v", err)
+	}
+	resp.Body.Close()
+	f.Clear(ts.URL, hb)
+
+	// Partition black-holes everything until healed.
+	f.Partition(ts.URL)
+	if _, err := get(hb); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if _, err := get("/v1/cluster/mine"); err == nil {
+		t.Fatal("partition did not cover all paths")
+	}
+	f.Heal(ts.URL)
+	resp, err = get(hb)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestFaultsHangRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	f := New(nil)
+	f.Set(ts.URL, "", Fault{Kind: Hang})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/x", nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	start := time.Now()
+	if _, err := f.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from hung request, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang ignored the request context")
+	}
+}
+
+func TestFaultsDelay(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	f := New(nil)
+	f.Set(ts.URL, "", Fault{Kind: Delay, Delay: 30 * time.Millisecond, Count: 1})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/x", nil)
+	start := time.Now()
+	resp, err := f.Do(req)
+	if err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+	if got := f.Injected(ts.URL, "/x", Delay); got != 1 {
+		t.Fatalf("Injected delays = %d, want 1", got)
+	}
+}

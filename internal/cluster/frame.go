@@ -1,0 +1,209 @@
+// Package cluster distributes permined mining work across a fleet of
+// daemons. One node runs as the coordinator: it health-checks its peers
+// with jittered heartbeats (alive → suspect → dead, with rejoin), places
+// whole jobs and corpus shards on the fleet by consistent hash over the
+// sequence content hash (so each node's subsumption-aware result cache
+// stays node-affine), steals work from overloaded owners, and requeues the
+// work of a dead node onto survivors through the corpus engine's existing
+// per-shard retry budget and backoff.
+//
+// Peer RPC rides plain HTTP POSTs whose bodies are length-prefixed
+// CRC32-framed JSON messages — the same framing discipline as the WAL
+// journal, for the same reason: a truncated or corrupted peer response
+// must be detected, never half-decoded. Every remote call is bounded by
+// the caller's context deadline, retried a bounded number of times, and
+// panic-isolated, so a flaky peer degrades the job instead of wedging it.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// Wire frame layout, mirroring the WAL journal's:
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// where the payload is one JSON-encoded Message.
+const (
+	frameHeaderSize = 8
+	// MaxFrameBytes bounds a frame payload; anything longer is treated as
+	// corruption (or hostility), not a message. It matches the server's
+	// default request-body cap so a whole-sequence mine request fits.
+	MaxFrameBytes = 64 << 20
+)
+
+// Frame decoding errors.
+var (
+	// ErrFrameTooLarge rejects a frame whose declared length exceeds the
+	// decoder's limit.
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+	// ErrFrameChecksum rejects a frame whose payload fails its CRC.
+	ErrFrameChecksum = errors.New("cluster: frame checksum mismatch")
+	// ErrFrameTruncated rejects a frame shorter than its declared length.
+	ErrFrameTruncated = errors.New("cluster: truncated frame")
+	// ErrFrameEmpty rejects a zero-length frame.
+	ErrFrameEmpty = errors.New("cluster: empty frame")
+)
+
+// Message is one wire-protocol message: a type tag plus a JSON body.
+// Types: "ping"/"pong" (heartbeats), "mine"/"result"/"error" (remote
+// mining).
+type Message struct {
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// NewMessage builds a Message with body marshalled from v (nil v leaves
+// the body empty).
+func NewMessage(typ string, v any) (Message, error) {
+	msg := Message{Type: typ}
+	if v != nil {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return Message{}, fmt.Errorf("cluster: marshalling %s body: %w", typ, err)
+		}
+		msg.Body = body
+	}
+	return msg, nil
+}
+
+// EncodeFrame renders the message as one framed payload.
+func EncodeFrame(msg Message) ([]byte, error) {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshalling frame: %w", err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// DecodeFrame decodes one framed message from the front of b, returning
+// the bytes consumed. max bounds the accepted payload length (0 means
+// MaxFrameBytes). The declared length is validated before any allocation,
+// so arbitrary input cannot make the decoder allocate more than b holds.
+func DecodeFrame(b []byte, max int) (Message, int, error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	if len(b) < frameHeaderSize {
+		return Message{}, 0, ErrFrameTruncated
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	switch {
+	case n == 0:
+		return Message{}, 0, ErrFrameEmpty
+	case n > uint32(max):
+		return Message{}, 0, ErrFrameTooLarge
+	case len(b)-frameHeaderSize < int(n):
+		return Message{}, 0, ErrFrameTruncated
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Message{}, 0, ErrFrameChecksum
+	}
+	var msg Message
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return Message{}, 0, fmt.Errorf("cluster: decoding frame payload: %w", err)
+	}
+	return msg, frameHeaderSize + int(n), nil
+}
+
+// WriteFrame writes the message as one frame.
+func WriteFrame(w io.Writer, msg Message) error {
+	frame, err := EncodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadFrame reads exactly one framed message from r. max bounds the
+// accepted payload length (0 means MaxFrameBytes); the length is checked
+// before the payload is allocated, so a hostile header cannot force a
+// huge allocation.
+func ReadFrame(r io.Reader, max int) (Message, error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, ErrFrameTruncated
+		}
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	switch {
+	case n == 0:
+		return Message{}, ErrFrameEmpty
+	case n > uint32(max):
+		return Message{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, ErrFrameTruncated
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Message{}, ErrFrameChecksum
+	}
+	var msg Message
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return Message{}, fmt.Errorf("cluster: decoding frame payload: %w", err)
+	}
+	return msg, nil
+}
+
+// Ping is the heartbeat request body, sent by the coordinator.
+type Ping struct {
+	// From identifies the probing node.
+	From string    `json:"from"`
+	At   time.Time `json:"at"`
+}
+
+// Pong is the heartbeat response body. QueueDepth feeds the coordinator's
+// work-stealing placement; Ready mirrors the peer's /readyz state.
+type Pong struct {
+	// Node is the responder's boot-unique node id (a restarted peer gets a
+	// fresh one).
+	Node       string `json:"node"`
+	Version    string `json:"version,omitempty"`
+	Ready      bool   `json:"ready"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// MineRequest asks a peer to mine one sequence. The sequence travels in
+// the same serialised form the WAL journals (alphabet by name + symbol
+// set, raw characters), so both ends rebuild identical subjects.
+type MineRequest struct {
+	// Job labels the originating job or shard for the peer's logs.
+	Job         string          `json:"job,omitempty"`
+	Algorithm   string          `json:"algorithm"`
+	SeqName     string          `json:"seq_name"`
+	SeqAlphabet string          `json:"seq_alphabet"`
+	SeqSymbols  string          `json:"seq_symbols"`
+	SeqData     string          `json:"seq_data"`
+	Params      json.RawMessage `json:"params"`
+}
+
+// MineResponse carries a remote mining outcome: the result JSON
+// (core.Result) on success, or the error string.
+type MineResponse struct {
+	Node   string          `json:"node"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}

@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"permine/internal/cluster"
+	"permine/internal/core"
+	"permine/internal/seq"
+	"permine/internal/server/store"
+)
+
+// This file is the server side of internal/cluster: the peer RPC endpoints
+// (framed heartbeat and remote-mine handlers), the /readyz readiness probe,
+// and the manager hooks that place whole jobs and corpus shards onto the
+// ring. Placement keys are the cache identity's sequence hash, so a shard
+// always lands on the node whose subsumption-aware cache already holds (or
+// will hold) results for that sequence.
+
+// newNodeID mints the daemon's cluster identity, reported in heartbeat
+// pongs and remote-mine responses so operators can tell nodes apart even
+// behind proxies.
+func newNodeID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "n-0"
+	}
+	return "n-" + hex.EncodeToString(b[:])
+}
+
+// notReadyReasons reports why the node should not receive traffic yet (or
+// any more): empty means ready. Liveness (/healthz) stays 200 through all
+// of these — a draining or degraded node is alive, just not placeable.
+func (s *Server) notReadyReasons() []string {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "drain in progress")
+	}
+	if st := s.st.Stats(); st.Degraded {
+		reasons = append(reasons, "store degraded: "+st.DegradedReason)
+	}
+	if s.clu != nil && !s.clu.Ready() {
+		reasons = append(reasons, "cluster peer set unresolved")
+	}
+	return reasons
+}
+
+// handleReadyz is the readiness probe: 200 once the node can take traffic,
+// 503 with machine-readable reasons while draining, store-degraded, or
+// before every configured peer's health has resolved out of Unknown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reasons := s.notReadyReasons()
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":   false,
+			"reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleClusterHeartbeat answers a framed ping with this node's identity,
+// readiness, and queue depth. The coordinator folds the depth into its
+// placement load model, so a busy peer sheds work without any extra RPC.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	msg, err := cluster.ReadFrame(r.Body, int(s.cfg.MaxBodyBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "bad heartbeat frame: %v", err)
+		return
+	}
+	if msg.Type != "ping" {
+		apiError(w, http.StatusBadRequest, "unexpected frame type %q", msg.Type)
+		return
+	}
+	pong, err := cluster.NewMessage("pong", cluster.Pong{
+		Node:       s.nodeID,
+		Version:    s.cfg.Version,
+		Ready:      len(s.notReadyReasons()) == 0,
+		QueueDepth: s.mgr.QueueDepth(),
+	})
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "encoding pong: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-permine-frame")
+	cluster.WriteFrame(w, pong)
+}
+
+// handleClusterMine executes one forwarded mining unit (a corpus shard or a
+// whole job) on behalf of a coordinator. Queue saturation and drain map to
+// 503 so the coordinator retries elsewhere without dinging this peer's
+// health; genuine mining failures travel back inside an "error" frame and
+// charge the shard's retry budget on the coordinator, not this node's.
+func (s *Server) handleClusterMine(w http.ResponseWriter, r *http.Request) {
+	msg, err := cluster.ReadFrame(r.Body, int(s.cfg.MaxBodyBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "bad mine frame: %v", err)
+		return
+	}
+	if msg.Type != "mine" {
+		apiError(w, http.StatusBadRequest, "unexpected frame type %q", msg.Type)
+		return
+	}
+	var req cluster.MineRequest
+	if err := json.Unmarshal(msg.Body, &req); err != nil {
+		apiError(w, http.StatusBadRequest, "decoding mine request: %v", err)
+		return
+	}
+	if s.draining.Load() {
+		apiError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	res, err := s.mineForPeerRequest(r.Context(), req)
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+		apiError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := cluster.MineResponse{Node: s.nodeID}
+	if err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Result, err = json.Marshal(res)
+		if err != nil {
+			resp.Result = nil
+			resp.Error = fmt.Sprintf("encoding result: %v", err)
+		}
+	}
+	out, err := cluster.NewMessage("result", resp)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-permine-frame")
+	cluster.WriteFrame(w, out)
+}
+
+// mineForPeerRequest rebuilds the subject sequence and parameters from a
+// wire-level MineRequest and hands them to the manager's worker pool.
+func (s *Server) mineForPeerRequest(ctx context.Context, req cluster.MineRequest) (*core.Result, error) {
+	algo, err := core.ParseAlgorithm(strings.ToLower(req.Algorithm))
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := alphabetFor(req.SeqAlphabet, req.SeqSymbols)
+	if err != nil {
+		return nil, err
+	}
+	subject, err := seq.New(alpha, req.SeqName, req.SeqData)
+	if err != nil {
+		return nil, err
+	}
+	var p core.Params
+	if len(req.Params) > 0 {
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, fmt.Errorf("decoding params: %w", err)
+		}
+	}
+	return s.mgr.MineForPeer(ctx, subject, algo, p)
+}
+
+// MineForPeer runs one forwarded mining unit through this node's normal
+// worker pool and result cache, so forwarded shards compete fairly with
+// local jobs and warm the node-affine cache. It blocks until the unit
+// finishes or the peer request's context dies; a dead request context
+// cancels the mining run (coordinator gone — its retry budget owns the
+// shard now, finishing here would be wasted work).
+func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo core.Algorithm, params core.Params) (*core.Result, error) {
+	np, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	key := KeyFor(subject, algo, np)
+	if m.cfg.Cache != nil {
+		if res, ok := m.cfg.Cache.Get(key); ok {
+			return res, nil
+		}
+	}
+
+	type reply struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	task := func() {
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		defer cancel()
+		stop := context.AfterFunc(rctx, cancel)
+		defer stop()
+		if m.cfg.ShardDelay > 0 {
+			select {
+			case <-ctx.Done():
+				ch <- reply{nil, ctx.Err()}
+				return
+			case <-time.After(m.cfg.ShardDelay):
+			}
+		}
+		p := np
+		p.Ctx = ctx
+		start := time.Now()
+		res, err := runAlgorithm(algo, subject, p)
+		if err != nil {
+			ch <- reply{nil, err}
+			return
+		}
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.ObserveMining(algo.String(), time.Since(start))
+		}
+		if m.cfg.Cache != nil {
+			m.cfg.Cache.Put(key, res)
+		}
+		ch <- reply{res, nil}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case m.queue <- task:
+		m.mu.Unlock()
+	default:
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case rep := <-ch:
+		return rep.res, rep.err
+	case <-rctx.Done():
+		// The queued task observes rctx through AfterFunc and aborts on
+		// its own; the buffered channel keeps its send from leaking.
+		return nil, rctx.Err()
+	}
+}
+
+// mineRequestFor renders a mining unit into its wire form. Params marshal
+// without their runtime-only fields (Ctx, Progress, Hooks are json:"-"),
+// so the receiver re-normalizes a clean copy.
+func mineRequestFor(id string, algo core.Algorithm, subject *seq.Sequence, p core.Params) (cluster.MineRequest, error) {
+	params, err := json.Marshal(p)
+	if err != nil {
+		return cluster.MineRequest{}, fmt.Errorf("encoding params: %w", err)
+	}
+	return cluster.MineRequest{
+		Job:         id,
+		Algorithm:   algo.String(),
+		SeqName:     subject.Name(),
+		SeqAlphabet: subject.Alphabet().Name(),
+		SeqSymbols:  string(subject.Alphabet().Symbols()),
+		SeqData:     subject.Data(),
+		Params:      params,
+	}, nil
+}
+
+// mineJob runs one whole job's mining, consulting the cluster ring first.
+// Remote mining failures at the transport level (peer suspect, dead, or
+// flaky) degrade to a local run as long as the job context is live — a
+// sick peer costs locality, never the job. Peer-reported mining errors are
+// authoritative: re-running locally would fail identically.
+func (m *Manager) mineJob(ctx context.Context, j *Job, p core.Params) (*core.Result, error) {
+	if c := m.cfg.Cluster; c != nil {
+		if pl := c.Place(j.cacheKey.ID.SeqHash[:]); pl.Node != "" {
+			res, err := m.mineJobRemote(ctx, j, p, pl.Node)
+			var remote *cluster.RemoteError
+			switch {
+			case err == nil:
+				return res, nil
+			case errors.As(err, &remote):
+				return nil, err
+			case ctx.Err() != nil:
+				return nil, ctx.Err()
+			default:
+				m.cfg.Logger.Warn("remote mine failed; degrading to local run",
+					"job", j.id, "node", pl.Node, "err", err)
+			}
+		}
+	}
+	if err := m.shardDelay(ctx); err != nil {
+		return nil, err
+	}
+	return runAlgorithm(j.algorithm, j.seq, p)
+}
+
+// mineJobRemote forwards a whole job to its ring owner, journals the
+// assignment, and replays the remote result's per-level progress through
+// the job's local progress hook so SSE subscribers on this node see the
+// same stream a local run would produce.
+func (m *Manager) mineJobRemote(ctx context.Context, j *Job, p core.Params, node string) (*core.Result, error) {
+	c := m.cfg.Cluster
+	req, err := mineRequestFor(j.id, j.algorithm, j.seq, p)
+	if err != nil {
+		return nil, err
+	}
+	c.NoteForwardedJob()
+	m.cfg.Store.AppendAssign(j.id, store.AssignRecord{Shard: store.WholeJob, Node: node, At: time.Now()})
+	j.mu.Lock()
+	j.forwarded = true
+	j.note = "forwarded to cluster peer " + node
+	j.mu.Unlock()
+
+	raw, err := c.MineRemote(ctx, node, req)
+	if err != nil {
+		return nil, err
+	}
+	var res core.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("decoding remote result: %w", err)
+	}
+	if p.Progress != nil {
+		for _, lv := range res.Levels {
+			p.Progress(lv)
+		}
+	}
+	if m.cfg.Cache != nil {
+		m.cfg.Cache.Put(j.cacheKey, &res)
+	}
+	return &res, nil
+}
+
+// mineShardRemote forwards one corpus shard to node, journaling the
+// assignment first so a coordinator restart knows where the shard was.
+// Errors return to the corpus engine, whose per-shard retry budget and
+// jittered backoff drive the requeue; by the next attempt the health
+// checker has usually excised the dead peer from the ring, so re-placement
+// lands on a survivor.
+func (m *Manager) mineShardRemote(ctx context.Context, j *corpusJobRef, index int, key CacheKey, req cluster.MineRequest, node string, stolen bool) (*core.Result, error) {
+	c := m.cfg.Cluster
+	c.NoteForwardedShard()
+	if stolen {
+		c.NoteShardStolen()
+	}
+	m.cfg.Store.AppendAssign(j.id, store.AssignRecord{Shard: index, Node: node, At: time.Now()})
+
+	raw, err := c.MineRemote(ctx, node, req)
+	if err != nil {
+		var remote *cluster.RemoteError
+		if !errors.As(err, &remote) && ctx.Err() == nil && !c.Alive(node) {
+			// Transport-level failure against a peer health now rules
+			// unplaceable: this shard is headed back to the queue because
+			// its node died under it.
+			c.NoteShardRequeued()
+		}
+		return nil, err
+	}
+	var res core.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("decoding remote result: %w", err)
+	}
+	if m.cfg.Cache != nil {
+		m.cfg.Cache.Put(key, &res)
+	}
+	return &res, nil
+}
+
+// corpusJobRef is the slice of corpus.Job state mineShardRemote needs —
+// kept narrow so the call site in runShard stays obvious.
+type corpusJobRef struct {
+	id string
+}
+
+// shardDelay sleeps the configured debug delay, aborting with the context.
+func (m *Manager) shardDelay(ctx context.Context) error {
+	if m.cfg.ShardDelay <= 0 {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(m.cfg.ShardDelay):
+		return nil
+	}
+}
+
+// isClosed reports whether Shutdown has begun — used by publishEnd to tell
+// a drain-cancelled forwarded job from an ordinary user cancellation.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

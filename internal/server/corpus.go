@@ -155,7 +155,10 @@ func (m *Manager) CancelCorpus(id string) (*corpus.Job, error) {
 // shards keyed identically to single-sequence jobs share the result cache
 // in both directions (the corpus engine consults its fault injector
 // before calling the runner, so injected faults are never masked by a
-// cache hit).
+// cache hit). Under a cluster the shard is first placed on the ring by its
+// cache identity; remote failures return to the corpus engine, whose
+// retry budget and backoff requeue the shard — re-placement on the next
+// attempt lands on whatever membership the health checker has left alive.
 func (m *Manager) runShard(ctx context.Context, j *corpus.Job, s *corpus.Shard) (*core.Result, error) {
 	p := j.Params()
 	key := KeyFor(s.Seq(), j.Algorithm(), p)
@@ -163,6 +166,24 @@ func (m *Manager) runShard(ctx context.Context, j *corpus.Job, s *corpus.Shard) 
 		if res, ok := m.cfg.Cache.Get(key); ok {
 			return res, nil
 		}
+	}
+	if c := m.cfg.Cluster; c != nil {
+		pl := c.Place(key.ID.SeqHash[:])
+		if pl.Node != "" {
+			req, err := mineRequestFor(j.ID(), j.Algorithm(), s.Seq(), p)
+			if err != nil {
+				return nil, err
+			}
+			return m.mineShardRemote(ctx, &corpusJobRef{id: j.ID()}, s.Index(), key, req, pl.Node, pl.Stolen)
+		}
+		// Local placement still journals the assignment so a restarted
+		// coordinator can tell self-owned checkpoints from orphans.
+		m.cfg.Store.AppendAssign(j.ID(), store.AssignRecord{
+			Shard: s.Index(), Node: c.Self(), At: time.Now(),
+		})
+	}
+	if err := m.shardDelay(ctx); err != nil {
+		return nil, err
 	}
 	p.Ctx = ctx
 	start := time.Now()
@@ -379,6 +400,29 @@ func (m *Manager) restoreCorpus(rec store.JobRecord, sum *RestoreSummary) {
 		m.cfg.Metrics.CorpusShardsReplayed(replayed)
 	}
 	m.corpusTransition("", corpus.StateRunning)
+
+	// Journaled assignments pointing at nodes outside the restarted
+	// coordinator's membership are orphans: their shards never
+	// checkpointed and will re-mine on survivors. Count them so the
+	// requeue shows up in permine_cluster_shards_requeued_total.
+	// Membership (not health) is the test — every peer is still Unknown
+	// this early in boot.
+	if c := m.cfg.Cluster; c != nil {
+		checkpointed := make(map[int]bool, len(rec.Shards))
+		for _, sh := range rec.Shards {
+			checkpointed[sh.Index] = true
+		}
+		for _, a := range rec.Assigns {
+			if a.Shard == store.WholeJob || checkpointed[a.Shard] {
+				continue
+			}
+			if !c.Member(a.Node) {
+				c.NoteShardRequeued()
+				m.cfg.Logger.Warn("shard assigned to departed node; requeueing on survivors",
+					"corpus", j.ID(), "shard", a.Shard, "node", a.Node)
+			}
+		}
+	}
 
 	if j.Attempts() >= m.cfg.RetryBudget {
 		sum.Exhausted++

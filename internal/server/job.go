@@ -10,6 +10,7 @@ import (
 
 	"encoding/json"
 
+	"permine/internal/cluster"
 	"permine/internal/core"
 	"permine/internal/corpus"
 	"permine/internal/obs"
@@ -68,7 +69,11 @@ type Job struct {
 	result     *core.Result
 	err        error
 	cacheHit   bool
-	note       string
+	// forwarded marks that the run was handed to a cluster peer; the
+	// drain path uses it to emit "shutdown" (not "end") when shutdown
+	// cancels a job this node never mined itself.
+	forwarded bool
+	note      string
 }
 
 // ID returns the job's identifier.
@@ -205,6 +210,13 @@ type ManagerConfig struct {
 	// ShardFault, when non-nil, injects deterministic shard faults into
 	// the corpus engine (tests and the -shard-fault debug knob).
 	ShardFault corpus.Injector
+	// Cluster, when non-nil, places whole jobs and corpus shards across
+	// the peer ring by cache identity; nil keeps every run local.
+	Cluster *cluster.Cluster
+	// ShardDelay stretches every local mining run by a fixed sleep (the
+	// -shard-delay debug knob; cluster chaos tests use it to hold shards
+	// in flight long enough to kill the node under them).
+	ShardDelay time.Duration
 	// Tracer, when non-nil, links every job's submit→queue→run→persist
 	// spans (and, through the run context, internal/mine's per-level
 	// spans) into the submitting request's trace.
@@ -504,6 +516,11 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 // streams. The result is stripped (it can be megabytes; stream clients
 // fetch GET /v1/jobs/{id} for it) and Seq carries the level count so
 // subscribers can tell a complete stream from a truncated one.
+//
+// A cluster-forwarded job cancelled by drain gets "shutdown" instead:
+// this node never mined it, so clients subscribed here must learn the
+// daemon is going away (and should re-poll elsewhere), not that the job
+// reached a real terminal state.
 func (m *Manager) publishEnd(j *Job) {
 	if m.cfg.Events == nil {
 		return
@@ -511,7 +528,14 @@ func (m *Manager) publishEnd(j *Job) {
 	v := j.Snapshot()
 	seq := len(v.Progress)
 	v.Result, v.Progress = nil, nil
-	m.cfg.Events.EndJob(Event{Type: "end", Job: j.id, Seq: seq, Data: v})
+	typ := "end"
+	j.mu.Lock()
+	forwarded := j.forwarded
+	j.mu.Unlock()
+	if forwarded && v.State == JobCancelled && m.isClosed() {
+		typ = "shutdown"
+	}
+	m.cfg.Events.EndJob(Event{Type: typ, Job: j.id, Seq: seq, Data: v})
 }
 
 // worker drains the queue until Shutdown closes it. Tasks are thunks:
@@ -583,7 +607,7 @@ func (m *Manager) runJob(j *Job) {
 	}
 
 	start := time.Now()
-	res, err := runAlgorithm(j.algorithm, j.seq, p)
+	res, err := m.mineJob(runCtx, j, p)
 	elapsed := time.Since(start)
 
 	j.mu.Lock()

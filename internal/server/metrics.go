@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"permine/internal/cluster"
 	"permine/internal/corpus"
 	"permine/internal/server/store"
 )
@@ -82,6 +83,7 @@ type Metrics struct {
 	queueFn   func() int
 	storeFn   func() store.Stats
 	sseFn     func() SSEStats
+	clusterFn func() cluster.Stats // nil when the node is not a coordinator
 
 	// Corpus-engine counters: jobs by state, terminal transitions, shard
 	// outcomes, retries with their cumulative backoff, and shards replayed
@@ -238,6 +240,8 @@ type MetricsSnapshot struct {
 	Requests      map[string]int64         `json:"requests_total"`
 	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
 	SSE           SSEStats                 `json:"sse"`
+	// Cluster is present only on coordinators.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Snapshot renders every counter; cache may be nil.
@@ -296,6 +300,10 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	}
 	if m.sseFn != nil {
 		snap.SSE = m.sseFn()
+	}
+	if m.clusterFn != nil {
+		cs := m.clusterFn()
+		snap.Cluster = &cs
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()

@@ -86,6 +86,24 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 		}
 	}
 
+	if snap.Cluster != nil {
+		c := snap.Cluster
+		p.Meta("permine_cluster_peers", "gauge", "Configured cluster peers in each health state.")
+		for _, state := range sortedKeys(c.PeersByState) {
+			p.Sample("permine_cluster_peers", []obs.Label{{Name: "state", Value: state}}, float64(c.PeersByState[state]))
+		}
+		p.Meta("permine_cluster_forwarded_jobs_total", "counter", "Whole jobs forwarded to a peer by ring placement.")
+		p.Sample("permine_cluster_forwarded_jobs_total", nil, float64(c.ForwardedJobs))
+		p.Meta("permine_cluster_forwarded_shards_total", "counter", "Corpus shards forwarded to a peer by ring placement.")
+		p.Sample("permine_cluster_forwarded_shards_total", nil, float64(c.ForwardedShards))
+		p.Meta("permine_cluster_shards_stolen_total", "counter", "Shards diverted from their ring owner to a less-loaded peer.")
+		p.Sample("permine_cluster_shards_stolen_total", nil, float64(c.ShardsStolen))
+		p.Meta("permine_cluster_shards_requeued_total", "counter", "Shards requeued after their assigned node died.")
+		p.Sample("permine_cluster_shards_requeued_total", nil, float64(c.ShardsRequeued))
+		p.Meta("permine_cluster_heartbeat_failures_total", "counter", "Failed heartbeat probes against peers.")
+		p.Sample("permine_cluster_heartbeat_failures_total", nil, float64(c.HeartbeatFailures))
+	}
+
 	p.Meta("permine_sse_subscribers", "gauge", "Attached job event streams.")
 	p.Sample("permine_sse_subscribers", nil, float64(snap.SSE.Subscribers))
 	p.Meta("permine_sse_dropped_total", "counter", "Event streams dropped for falling behind.")

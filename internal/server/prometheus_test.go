@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"permine/internal/cluster"
 	"permine/internal/server/store"
 )
 
@@ -64,6 +65,17 @@ func fixedSnapshot() MetricsSnapshot {
 		},
 		Latency: map[string]HistogramView{"MPPm": h},
 		SSE:     SSEStats{Subscribers: 1, Dropped: 2},
+		Cluster: &cluster.Stats{
+			Self: "http://coord:18080",
+			PeersByState: map[string]int{
+				"alive": 2, "suspect": 1, "dead": 1, "unknown": 0,
+			},
+			ForwardedJobs:     4,
+			ForwardedShards:   19,
+			ShardsStolen:      3,
+			ShardsRequeued:    2,
+			HeartbeatFailures: 7,
+		},
 	}
 }
 

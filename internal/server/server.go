@@ -25,7 +25,11 @@
 //	GET    /metrics             the same counters in Prometheus text format
 //	GET    /v1/traces           recent trace summaries
 //	GET    /v1/traces/{id}      every retained span of one trace
-//	GET    /healthz             liveness + version
+//	GET    /healthz             liveness + version (always 200 while the process serves)
+//	GET    /readyz              readiness: 503 while draining, store-degraded,
+//	                            or the cluster peer set is unresolved
+//	POST   /v1/cluster/heartbeat framed ping→pong health probe (cluster peers)
+//	POST   /v1/cluster/mine     execute one forwarded shard or job (cluster peers)
 package server
 
 import (
@@ -39,8 +43,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"permine/internal/cluster"
 	"permine/internal/combinat"
 	"permine/internal/core"
 	"permine/internal/corpus"
@@ -101,6 +107,26 @@ type Config struct {
 	// TraceSpans bounds the in-memory span ring behind /v1/traces
 	// (default obs.DefaultRingSpans).
 	TraceSpans int
+	// ClusterRole selects the node's cluster mode: "" runs standalone,
+	// "coordinator" places jobs and shards across ClusterPeers, "peer"
+	// only serves the cluster RPC endpoints (which every role exposes).
+	ClusterRole string
+	// ClusterPeers are the peer base URLs a coordinator heartbeats and
+	// forwards to. ClusterSelf is this node's own advertised base URL,
+	// journaled on local placements.
+	ClusterPeers []string
+	ClusterSelf  string
+	// ClusterHeartbeat, ClusterSuspectAfter and ClusterDeadAfter tune
+	// the health checker (see cluster.Config; defaults 1s / 2 / 4).
+	ClusterHeartbeat    time.Duration
+	ClusterSuspectAfter int
+	ClusterDeadAfter    int
+	// ClusterTransport overrides the peer HTTP client (tests inject
+	// clustertest.Faults here).
+	ClusterTransport cluster.Doer
+	// ShardDelay stretches every local mining run (the -shard-delay
+	// debug knob; see ManagerConfig).
+	ShardDelay time.Duration
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -141,6 +167,12 @@ type Server struct {
 	events  *Broadcaster
 	handler http.Handler
 	started time.Time
+
+	// clu is non-nil on coordinators; nodeID identifies this daemon in
+	// heartbeat pongs; draining flips at Shutdown and turns /readyz 503.
+	clu      *cluster.Cluster
+	nodeID   string
+	draining atomic.Bool
 }
 
 // New builds a Server and starts its worker pool. With Config.DataDir set
@@ -173,7 +205,30 @@ func New(cfg Config) *Server {
 		}
 	}
 
-	mgr := NewManager(ManagerConfig{
+	// Coordinators build the cluster before the manager (the manager's
+	// config embeds it) but feed it the manager's queue depth through a
+	// late-bound closure, resolving the construction cycle.
+	var clu *cluster.Cluster
+	var mgr *Manager
+	if cfg.ClusterRole == "coordinator" && len(cfg.ClusterPeers) > 0 {
+		clu = cluster.New(cluster.Config{
+			Self:         cfg.ClusterSelf,
+			Peers:        cfg.ClusterPeers,
+			Heartbeat:    cfg.ClusterHeartbeat,
+			SuspectAfter: cfg.ClusterSuspectAfter,
+			DeadAfter:    cfg.ClusterDeadAfter,
+			Transport:    cfg.ClusterTransport,
+			SelfLoad: func() int {
+				if mgr == nil {
+					return 0
+				}
+				return mgr.QueueDepth()
+			},
+			Logger: cfg.Logger,
+		})
+	}
+
+	mgr = NewManager(ManagerConfig{
 		Workers:            cfg.Workers,
 		QueueDepth:         cfg.QueueDepth,
 		JobTimeout:         cfg.JobTimeout,
@@ -189,6 +244,8 @@ func New(cfg Config) *Server {
 		ShardRetryBackoff:  cfg.ShardRetryBackoff,
 		CorpusMaxInflight:  cfg.CorpusMaxInflight,
 		ShardFault:         cfg.ShardFault,
+		Cluster:            clu,
+		ShardDelay:         cfg.ShardDelay,
 		Tracer:             tracer,
 		Events:             events,
 		Logger:             cfg.Logger,
@@ -196,11 +253,19 @@ func New(cfg Config) *Server {
 	metrics.queueFn = mgr.QueueDepth
 	metrics.storeFn = st.Stats
 	metrics.sseFn = events.Stats
+	if clu != nil {
+		metrics.clusterFn = clu.Stats
+	}
 	if recs := st.Recovered(); len(recs) > 0 {
 		sum := mgr.Restore(recs)
 		cfg.Logger.Info("restored jobs from journal", "data_dir", cfg.DataDir,
 			"terminal", sum.Terminal, "requeued", sum.Requeued,
 			"retry_exhausted", sum.Exhausted, "skipped", sum.Skipped)
+	}
+	if clu != nil {
+		// Heartbeats start only after Restore so requeue accounting for
+		// departed nodes reads a settled membership.
+		clu.Start()
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -212,6 +277,8 @@ func New(cfg Config) *Server {
 		ring:    ring,
 		events:  events,
 		started: time.Now(),
+		clu:     clu,
+		nodeID:  newNodeID(),
 	}
 
 	mux := http.NewServeMux()
@@ -231,6 +298,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/mine", s.handleClusterMine)
 	s.handler = s.logging(mux)
 	return s
 }
@@ -247,11 +317,17 @@ func (s *Server) Manager() *Manager { return s.mgr }
 // Store exposes the job store (tests and health probes).
 func (s *Server) Store() store.Store { return s.st }
 
-// Shutdown drains the job manager, closes every event stream, then closes
-// the journal (drain-time terminal transitions are journaled first;
-// appends after the close are no-ops).
+// Shutdown flips /readyz to 503, drains the job manager (cancelling any
+// cluster-forwarded runs, whose subscribers get "shutdown" events), stops
+// the cluster heartbeats, closes every event stream, then closes the
+// journal (drain-time terminal transitions are journaled first; appends
+// after the close are no-ops).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.mgr.Shutdown(ctx)
+	if s.clu != nil {
+		s.clu.Stop()
+	}
 	s.events.Close()
 	if cerr := s.st.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -350,7 +426,8 @@ func routeLabel(r *http.Request) string {
 	switch {
 	case path == "/v1/jobs", path == "/v1/corpus", path == "/v1/query",
 		path == "/v1/metrics", path == "/metrics", path == "/v1/traces",
-		path == "/healthz":
+		path == "/healthz", path == "/readyz",
+		path == "/v1/cluster/heartbeat", path == "/v1/cluster/mine":
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		if strings.HasSuffix(path, "/events") {
 			path = "/v1/jobs/{id}/events"
@@ -859,14 +936,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st.Degraded {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"version":        s.cfg.Version,
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		"node":           s.nodeID,
 		"store": map[string]any{
 			"backend":  st.Backend,
 			"degraded": st.Degraded,
 			"reason":   st.DegradedReason,
 		},
-	})
+	}
+	if s.clu != nil {
+		body["cluster"] = s.clu.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

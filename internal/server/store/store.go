@@ -47,6 +47,12 @@ type JobRecord struct {
 	ShardCount int           `json:"shard_count,omitempty"`
 	Shards     []ShardRecord `json:"shards,omitempty"`
 
+	// Assigns are the cluster node assignments folded from assign journal
+	// events, last-wins per shard index. A coordinator restart consults
+	// them to count shards whose assigned node has left the membership —
+	// those requeue onto survivors through the normal retry budget.
+	Assigns []AssignRecord `json:"assigns,omitempty"`
+
 	Params    json.RawMessage `json:"params"`
 	TimeoutMS int64           `json:"timeout_ms"`
 
@@ -95,6 +101,22 @@ type ShardRecord struct {
 	FinishedAt time.Time       `json:"finished_at"`
 }
 
+// AssignRecord is the durable record of one cluster placement decision:
+// which node a shard (or, with Shard == WholeJob, the whole job) was last
+// sent to. Node is the peer's base URL, or the coordinator's own
+// advertised address for local placements.
+type AssignRecord struct {
+	// Shard is the assigned shard's index, or WholeJob (-1) when a whole
+	// single-sequence job was forwarded.
+	Shard int       `json:"shard"`
+	Node  string    `json:"node"`
+	At    time.Time `json:"at"`
+}
+
+// WholeJob is the AssignRecord.Shard value marking a whole-job (rather
+// than per-shard) assignment.
+const WholeJob = -1
+
 // Stats is a point-in-time snapshot of a store's health and accounting,
 // exposed via /v1/metrics and (backend/degraded) /healthz.
 type Stats struct {
@@ -138,6 +160,9 @@ type Store interface {
 	// AppendShard durably records one corpus shard reaching "done" or
 	// "failed", the per-shard checkpoint a crashed corpus job resumes from.
 	AppendShard(id string, sh ShardRecord)
+	// AppendAssign durably records a cluster placement decision, so a
+	// coordinator restart can requeue shards assigned to departed nodes.
+	AppendAssign(id string, a AssignRecord)
 	// Stats reports health and accounting counters.
 	Stats() Stats
 	// Close releases the journal; subsequent appends are no-ops.
@@ -178,6 +203,9 @@ func (m *Memory) AppendOutcome(string, Outcome) {}
 
 // AppendShard implements Store.
 func (m *Memory) AppendShard(string, ShardRecord) {}
+
+// AppendAssign implements Store.
+func (m *Memory) AppendAssign(string, AssignRecord) {}
 
 // Stats implements Store.
 func (m *Memory) Stats() Stats {

@@ -44,16 +44,18 @@ const (
 	evSnapshot    = "snapshot"
 	evShardDone   = "shard_done"
 	evShardFailed = "shard_failed"
+	evAssign      = "assign"
 )
 
 // event is one journal entry.
 type event struct {
 	Type     string          `json:"t"`
 	At       time.Time       `json:"at"`
-	Job      *JobRecord      `json:"job,omitempty"`   // submit
-	Jobs     []JobRecord     `json:"jobs,omitempty"`  // snapshot
-	ID       string          `json:"id,omitempty"`    // state, outcome, shard_*
-	Shard    *ShardRecord    `json:"shard,omitempty"` // shard_done, shard_failed
+	Job      *JobRecord      `json:"job,omitempty"`    // submit
+	Jobs     []JobRecord     `json:"jobs,omitempty"`   // snapshot
+	ID       string          `json:"id,omitempty"`     // state, outcome, shard_*, assign
+	Shard    *ShardRecord    `json:"shard,omitempty"`  // shard_done, shard_failed
+	Assign   *AssignRecord   `json:"assign,omitempty"` // assign
 	State    string          `json:"state,omitempty"`
 	Attempts int             `json:"attempts,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
@@ -286,6 +288,24 @@ func (w *WAL) applyLocked(ev event) {
 		sort.Slice(rec.Shards, func(i, j int) bool {
 			return rec.Shards[i].Index < rec.Shards[j].Index
 		})
+	case evAssign:
+		rec, ok := w.jobs[ev.ID]
+		if !ok || terminalState(rec.State) || ev.Assign == nil {
+			return
+		}
+		// Assignments are last-wins per shard index: a retried shard's new
+		// placement supersedes the one a dead node held.
+		for i := range rec.Assigns {
+			if rec.Assigns[i].Shard == ev.Assign.Shard {
+				rec.Assigns[i] = *ev.Assign
+				return
+			}
+		}
+		rec.Assigns = append(rec.Assigns, *ev.Assign)
+		// Sorted by shard index, like Shards, for deterministic recovery.
+		sort.Slice(rec.Assigns, func(i, j int) bool {
+			return rec.Assigns[i].Shard < rec.Assigns[j].Shard
+		})
 	}
 }
 
@@ -340,6 +360,13 @@ func (w *WAL) AppendShard(id string, sh ShardRecord) {
 		kind = evShardFailed
 	}
 	w.appendLocked(event{Type: kind, At: sh.FinishedAt, ID: id, Shard: &sh})
+}
+
+// AppendAssign implements Store.
+func (w *WAL) AppendAssign(id string, a AssignRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(event{Type: evAssign, At: a.At, ID: id, Assign: &a})
 }
 
 // appendLocked folds the event into memory, then journals it with retries;

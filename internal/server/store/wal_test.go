@@ -446,6 +446,53 @@ func TestWALShardCheckpoints(t *testing.T) {
 	}
 }
 
+// TestWALAssignEvents: node-assignment events fold last-wins per shard
+// index, sorted by index, ignore unknown and already-terminal jobs, and
+// survive replay — the record a restarted coordinator uses to requeue a
+// departed node's shards.
+func TestWALAssignEvents(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, store.Options{Dir: dir})
+	w.AppendSubmit(corpusRec("c-000001", 3))
+	at := time.Now().UTC()
+	w.AppendAssign("c-000001", store.AssignRecord{Shard: 2, Node: "http://b:1", At: at})
+	w.AppendAssign("c-000001", store.AssignRecord{Shard: 0, Node: "http://b:1", At: at})
+	// Retry re-placement: the newest assignment for shard 2 must win.
+	w.AppendAssign("c-000001", store.AssignRecord{Shard: 2, Node: "http://c:1", At: at.Add(time.Second)})
+	// Whole-job assignment on a plain job coexists with shard assigns.
+	w.AppendSubmit(submitRec("j-000001"))
+	w.AppendAssign("j-000001", store.AssignRecord{Shard: store.WholeJob, Node: "http://c:1", At: at})
+	// Unknown job: ignored.
+	w.AppendAssign("c-999999", store.AssignRecord{Shard: 0, Node: "http://b:1", At: at})
+	// Terminal job: ignored.
+	w.AppendOutcome("j-000001", store.Outcome{State: "done", FinishedAt: at})
+	w.AppendAssign("j-000001", store.AssignRecord{Shard: store.WholeJob, Node: "http://d:1", At: at})
+	w.Close()
+
+	w2 := openWAL(t, store.Options{Dir: dir})
+	recs := w2.Recovered()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	corpus := recs[0]
+	if len(corpus.Assigns) != 2 {
+		t.Fatalf("folded %d assigns, want 2: %+v", len(corpus.Assigns), corpus.Assigns)
+	}
+	if corpus.Assigns[0].Shard != 0 || corpus.Assigns[1].Shard != 2 {
+		t.Errorf("assign order = %d, %d, want by shard index 0, 2",
+			corpus.Assigns[0].Shard, corpus.Assigns[1].Shard)
+	}
+	if corpus.Assigns[1].Node != "http://c:1" {
+		t.Errorf("shard 2 assign = %q, want the last-wins re-placement http://c:1",
+			corpus.Assigns[1].Node)
+	}
+	job := recs[1]
+	if len(job.Assigns) != 1 || job.Assigns[0].Shard != store.WholeJob ||
+		job.Assigns[0].Node != "http://c:1" {
+		t.Errorf("whole-job assigns = %+v (post-terminal assign must be ignored)", job.Assigns)
+	}
+}
+
 // TestWALPartialOutcomeTerminal: "partial" is a terminal corpus state — a
 // late state append must not roll it back, and the merged result survives
 // replay next to the shard checkpoints.
