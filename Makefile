@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check fuzz-short experiments verify examples clean
+.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check slo-check fuzz-short experiments verify examples clean
 
 all: build test
 
@@ -41,6 +41,12 @@ bench-baseline:
 # no baseline exists. Threshold: BENCH_MAX_REGRESSION_PCT (default 5).
 bench-check:
 	sh scripts/bench-check.sh
+
+# Latency SLO gate: boot a throwaway daemon, drive it with scripts/loadgen
+# at a fixed RPS, fail when measured p99 exceeds SLO_TARGET_P99_MS
+# (default 250). Includes a negative control proving the gate can fail.
+slo-check:
+	sh scripts/slo-check.sh
 
 # Short fuzz pass over the PIL list invariants (Join window semantics,
 # Merge support conservation, arena/heap join equivalence) and the cluster

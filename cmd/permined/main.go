@@ -100,6 +100,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		clusterDead  = fs.Int("cluster-dead-after", 4, "consecutive probe failures before a peer is dead and leaves the ring")
 		shardDelay   = fs.Duration("shard-delay", 0, "debug: stretch every local mining run by this sleep")
 		traceSpans   = fs.Int("trace-spans", 0, "finished tracing spans kept for /v1/traces (0 = default 4096)")
+		traceSample  = fs.Float64("trace-sample", 1, "head-sampling rate for traces in [0,1]; sampled-out requests produce no spans")
+		sloTargetMS  = fs.Int("slo-p99-ms", 250, "p99 request-latency objective in ms for the permine_slo_* counters")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		version      = fs.Bool("version", false, "print version and exit")
@@ -117,6 +119,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	// Config treats 0 as "default" (sample everything); an explicit
+	// -trace-sample 0 means drop every trace, which Config spells negative.
+	sampleRate := *traceSample
+	if sampleRate == 0 {
+		sampleRate = -1
+	}
 
 	srv := server.New(server.Config{
 		Version:             permine.Version,
@@ -138,6 +147,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ShardRetryBackoff:   *shardBackoff,
 		CorpusMaxInflight:   *maxInflight,
 		TraceSpans:          *traceSpans,
+		TraceSample:         sampleRate,
+		SLOTargetP99:        time.Duration(*sloTargetMS) * time.Millisecond,
 		ClusterRole:         *clusterRole,
 		ClusterPeers:        splitPeers(*clusterPeers),
 		ClusterSelf:         *clusterSelf,

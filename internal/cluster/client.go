@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"permine/internal/obs"
 )
 
 // Peer RPC endpoints, served by every permined node regardless of role.
@@ -38,13 +40,15 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("cluster: remote mining on %s failed: %s", e.Node, e.Msg)
 }
 
-// heartbeat probes one peer: a framed ping, expecting a framed pong.
+// heartbeat probes one peer: a framed ping, expecting a framed pong. Each
+// probe carries a fresh trace id in its X-Request-Id header so a failing
+// heartbeat can be correlated with the peer's access log.
 func (c *Cluster) heartbeat(ctx context.Context, addr string) (Pong, error) {
 	msg, err := NewMessage("ping", Ping{From: c.cfg.Self, At: time.Now().UTC()})
 	if err != nil {
 		return Pong{}, err
 	}
-	reply, err := c.call(ctx, addr, heartbeatPath, msg)
+	reply, err := c.call(ctx, addr, heartbeatPath, msg, obs.SpanContext{TraceID: obs.NewTraceID()})
 	if err != nil {
 		return Pong{}, err
 	}
@@ -59,12 +63,14 @@ func (c *Cluster) heartbeat(ctx context.Context, addr string) (Pong, error) {
 }
 
 // MineRemote runs one mining request on a peer and returns the raw
-// core.Result JSON. It layers every robustness guarantee the tentpole
+// core.Result JSON plus any finished remote spans the peer piggybacked on
+// its reply (returned on the RemoteError path too — a failed remote mine
+// still traced). It layers every robustness guarantee the tentpole
 // demands: the peer's death-watch context (an in-flight call against a
 // peer later declared dead aborts immediately), the caller's deadline,
 // bounded retries with backoff for transport errors, panic isolation, and
 // health feedback so a flaky peer is demoted at RPC speed.
-func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) (raw []byte, err error) {
+func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) (raw []byte, spans []obs.SpanData, err error) {
 	defer func() {
 		// Panic isolation: a bug in the RPC path must degrade this one
 		// attempt, never take down the worker running the shard.
@@ -75,10 +81,10 @@ func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) 
 
 	peerCtx := c.peerContext(addr)
 	if peerCtx == nil {
-		return nil, fmt.Errorf("cluster: %s is not a peer", addr)
+		return nil, nil, fmt.Errorf("cluster: %s is not a peer", addr)
 	}
 	if peerCtx.Err() != nil {
-		return nil, ErrPeerDead
+		return nil, nil, ErrPeerDead
 	}
 	// The call lives under both lifetimes: the shard/job deadline and the
 	// peer's death watch.
@@ -92,7 +98,7 @@ func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) 
 
 	msg, err := NewMessage("mine", req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	var lastErr error
@@ -102,17 +108,17 @@ func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) 
 			// retry budget owns the long backoffs.
 			select {
 			case <-callCtx.Done():
-				return nil, rpcContextError(ctx, peerCtx, callCtx)
+				return nil, nil, rpcContextError(ctx, peerCtx, callCtx)
 			case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
 			}
 		}
-		reply, err := c.call(callCtx, addr, minePath, msg)
+		reply, err := c.call(callCtx, addr, minePath, msg, req.Trace())
 		if err != nil {
 			if callCtx.Err() != nil {
-				return nil, rpcContextError(ctx, peerCtx, callCtx)
+				return nil, nil, rpcContextError(ctx, peerCtx, callCtx)
 			}
 			if errors.Is(err, ErrPeerBusy) {
-				return nil, err
+				return nil, nil, err
 			}
 			// Transport failure: feed the health state machine and retry.
 			c.NoteRPCFailure(addr, err)
@@ -127,21 +133,21 @@ func (c *Cluster) MineRemote(ctx context.Context, addr string, req MineRequest) 
 				continue
 			}
 			if resp.Error != "" {
-				return nil, &RemoteError{Node: nodeOr(resp.Node, addr), Msg: resp.Error}
+				return nil, resp.Spans, &RemoteError{Node: nodeOr(resp.Node, addr), Msg: resp.Error}
 			}
-			return resp.Result, nil
+			return resp.Result, resp.Spans, nil
 		case "error":
 			var resp MineResponse
 			if err := jsonUnmarshal(reply.Body, &resp); err != nil {
 				lastErr = err
 				continue
 			}
-			return nil, &RemoteError{Node: nodeOr(resp.Node, addr), Msg: resp.Error}
+			return nil, resp.Spans, &RemoteError{Node: nodeOr(resp.Node, addr), Msg: resp.Error}
 		default:
 			lastErr = fmt.Errorf("cluster: unexpected mine reply %q", reply.Type)
 		}
 	}
-	return nil, fmt.Errorf("cluster: mine on %s failed after %d attempts: %w",
+	return nil, nil, fmt.Errorf("cluster: mine on %s failed after %d attempts: %w",
 		addr, c.cfg.RPCRetries+1, lastErr)
 }
 
@@ -158,8 +164,11 @@ func rpcContextError(ctx, peerCtx, callCtx context.Context) error {
 	return callCtx.Err()
 }
 
-// call POSTs one framed message and decodes one framed reply.
-func (c *Cluster) call(ctx context.Context, addr, path string, msg Message) (Message, error) {
+// call POSTs one framed message and decodes one framed reply. The trace
+// context rides standard HTTP headers — X-Request-Id carries the trace id
+// (adopted by the receiving node's request middleware, so both nodes' logs
+// share one id) and X-Permine-Parent-Span the caller's span id.
+func (c *Cluster) call(ctx context.Context, addr, path string, msg Message, trace obs.SpanContext) (Message, error) {
 	frame, err := EncodeFrame(msg)
 	if err != nil {
 		return Message{}, err
@@ -169,6 +178,12 @@ func (c *Cluster) call(ctx context.Context, addr, path string, msg Message) (Mes
 		return Message{}, err
 	}
 	req.Header.Set("Content-Type", "application/x-permine-frame")
+	if trace.TraceID != "" {
+		req.Header.Set("X-Request-Id", trace.TraceID)
+	}
+	if trace.SpanID != "" {
+		req.Header.Set("X-Permine-Parent-Span", trace.SpanID)
+	}
 	resp, err := c.cfg.Transport.Do(req)
 	if err != nil {
 		return Message{}, err

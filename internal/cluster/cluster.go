@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"net/http"
@@ -152,6 +154,7 @@ type Cluster struct {
 	shardsStolen    atomic.Uint64
 	shardsRequeued  atomic.Uint64
 	hbFailures      atomic.Uint64
+	scrapeErrors    atomic.Uint64
 }
 
 // New builds a coordinator fleet view. Call Start to begin probing.
@@ -476,6 +479,66 @@ func (c *Cluster) NoteShardStolen() { c.shardsStolen.Add(1) }
 // because its assigned node died (or, at restore, left the membership).
 func (c *Cluster) NoteShardRequeued() { c.shardsRequeued.Add(1) }
 
+// NoteScrapeError counts a failed peer scrape during metrics federation.
+func (c *Cluster) NoteScrapeError() { c.scrapeErrors.Add(1) }
+
+// ScrapeTarget is one peer the metrics federation endpoint should scrape.
+type ScrapeTarget struct {
+	Addr string
+	// Node is the peer's boot-unique node id from its last pong, or ""
+	// when the peer has never answered a probe.
+	Node string
+}
+
+// ScrapeTargets lists the peers worth scraping — everything not declared
+// dead, sorted by address. Suspect and unprobed peers are included on
+// purpose: a scrape that fails feeds the scrape-error counter and the
+// output degrades to the nodes that answered, which is exactly the
+// partial-on-peer-failure behaviour federation promises.
+func (c *Cluster) ScrapeTargets() []ScrapeTarget {
+	c.mu.Lock()
+	targets := make([]ScrapeTarget, 0, len(c.peers))
+	for _, p := range c.peers {
+		if p.state == StateDead {
+			continue
+		}
+		targets = append(targets, ScrapeTarget{Addr: p.addr, Node: p.node})
+	}
+	c.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Addr < targets[j].Addr })
+	return targets
+}
+
+// Scrape fetches one peer's raw /metrics exposition over the cluster
+// transport, bounded by ctx. The body is capped at MaxFrameBytes — an
+// exposition bigger than the largest legal RPC frame is corruption, not
+// metrics.
+func (c *Cluster) Scrape(ctx context.Context, addr string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Transport.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s/metrics returned %s", addr, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	return body, nil
+}
+
 // Stats is a point-in-time snapshot of fleet health and counters, shaped
 // for /v1/metrics and the Prometheus exposition.
 type Stats struct {
@@ -490,6 +553,7 @@ type Stats struct {
 	ShardsStolen      uint64         `json:"shards_stolen"`
 	ShardsRequeued    uint64         `json:"shards_requeued"`
 	HeartbeatFailures uint64         `json:"heartbeat_failures"`
+	ScrapeErrors      uint64         `json:"scrape_errors"`
 }
 
 // Stats snapshots the cluster.
@@ -505,6 +569,7 @@ func (c *Cluster) Stats() Stats {
 		ShardsStolen:      c.shardsStolen.Load(),
 		ShardsRequeued:    c.shardsRequeued.Load(),
 		HeartbeatFailures: c.hbFailures.Load(),
+		ScrapeErrors:      c.scrapeErrors.Load(),
 	}
 	c.mu.Lock()
 	for addr, p := range c.peers {

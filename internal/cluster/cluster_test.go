@@ -307,7 +307,7 @@ func TestMineRemoteDeadPeerFastFails(t *testing.T) {
 	defer c.Stop()
 	c.noteFailure(peerAddr, "heartbeat", errors.New("down")) // straight to dead
 
-	_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
+	_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
 	if !errors.Is(err, ErrPeerDead) {
 		t.Fatalf("want ErrPeerDead, got %v", err)
 	}
@@ -335,7 +335,7 @@ func TestMineRemoteRetriesTransportErrors(t *testing.T) {
 	defer c.Stop()
 	c.noteSuccess(peerAddr, Pong{Node: "n-a"})
 
-	raw, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
+	raw, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
 	if err != nil {
 		t.Fatalf("MineRemote: %v", err)
 	}
@@ -367,7 +367,7 @@ func TestMineRemoteExhaustsRetryBudget(t *testing.T) {
 	defer c.Stop()
 	c.noteSuccess(peerAddr, Pong{Node: "n-a"})
 
-	_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
+	_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "mpp"})
 	if err == nil {
 		t.Fatal("want error after exhausting RPC retries")
 	}
@@ -395,7 +395,7 @@ func TestMineRemoteRemoteErrorIsNotTransport(t *testing.T) {
 	defer c.Stop()
 	c.noteSuccess(peerAddr, Pong{Node: "n-a"})
 
-	_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "nope"})
+	_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{Algorithm: "nope"})
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("want *RemoteError, got %v", err)
@@ -426,7 +426,7 @@ func TestMineRemoteBusyPeer(t *testing.T) {
 	defer c.Stop()
 	c.noteSuccess(peerAddr, Pong{Node: "n-a"})
 
-	_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
+	_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
 	if !errors.Is(err, ErrPeerBusy) {
 		t.Fatalf("want ErrPeerBusy, got %v", err)
 	}
@@ -445,7 +445,7 @@ func TestMineRemotePanicIsolation(t *testing.T) {
 	c.noteSuccess(peerAddr, Pong{Node: "n-a"})
 
 	// Reaching the assertion at all proves the panic was contained.
-	_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
+	_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
 	if err == nil || !strings.Contains(err.Error(), "panic") {
 		t.Fatalf("want panic-isolation error, got %v", err)
 	}
@@ -467,7 +467,7 @@ func TestMineRemoteAbortsWhenPeerDies(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
+		_, _, err := c.MineRemote(context.Background(), peerAddr, MineRequest{})
 		done <- err
 	}()
 	// Let the RPC get in flight, then declare the peer dead.

@@ -23,6 +23,8 @@ import (
 	"hash/crc32"
 	"io"
 	"time"
+
+	"permine/internal/obs"
 )
 
 // Wire frame layout, mirroring the WAL journal's:
@@ -198,12 +200,26 @@ type MineRequest struct {
 	SeqSymbols  string          `json:"seq_symbols"`
 	SeqData     string          `json:"seq_data"`
 	Params      json.RawMessage `json:"params"`
+	// TraceID carries the coordinator's trace id — which doubles as the
+	// originating X-Request-Id — so the peer's logs and spans correlate
+	// with the coordinator's. ParentSpan is the span (job.run or
+	// corpus.shard) the peer's server-side spans link under.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+}
+
+// Trace returns the request's propagated span context.
+func (r MineRequest) Trace() obs.SpanContext {
+	return obs.SpanContext{TraceID: r.TraceID, SpanID: r.ParentSpan}
 }
 
 // MineResponse carries a remote mining outcome: the result JSON
-// (core.Result) on success, or the error string.
+// (core.Result) on success, or the error string. Spans piggybacks the
+// peer's finished server-side spans so the coordinator can assemble one
+// cross-node trace tree without a separate span-shipping channel.
 type MineResponse struct {
 	Node   string          `json:"node"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	Spans  []obs.SpanData  `json:"spans,omitempty"`
 }

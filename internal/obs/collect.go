@@ -1,0 +1,33 @@
+package obs
+
+import "sync"
+
+// Collector is an Exporter that buffers finished spans in memory. A peer
+// serving a forwarded mining unit tees its tracer into a per-request
+// Collector and piggybacks the collected spans on the result frame, so the
+// coordinator's trace ring can assemble one cross-node tree.
+type Collector struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// ExportSpan implements Exporter.
+func (c *Collector) ExportSpan(sd SpanData) {
+	c.mu.Lock()
+	c.spans = append(c.spans, sd)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in export order.
+func (c *Collector) Spans() []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanData(nil), c.spans...)
+}
+
+// Len returns the number of collected spans.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}

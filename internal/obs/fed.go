@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FederatedSource is one node's raw Prometheus exposition text, as served
+// by its GET /metrics endpoint.
+type FederatedSource struct {
+	Node string // node id, injected as a node="..." label on every sample
+	Text []byte
+}
+
+type fedFamily struct {
+	name  string
+	typ   string
+	help  string
+	lines []string // sample lines, node label already injected, source order
+}
+
+// WriteFederated merges the exposition text of several nodes into one
+// stream: families are matched by name across sources, every sample line
+// gains a node="<id>" label, and # HELP / # TYPE metadata is emitted once
+// per family (first source wins). Families are written sorted by name;
+// within a family, samples keep source order. Unparseable comment lines
+// are dropped; sample lines are passed through verbatim apart from the
+// injected label, so this works on any 0.0.4 exposition, not just ours.
+func WriteFederated(w io.Writer, sources []FederatedSource) error {
+	fams := map[string]*fedFamily{}
+	get := func(name string) *fedFamily {
+		f := fams[name]
+		if f == nil {
+			f = &fedFamily{name: name}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, src := range sources {
+		cur := "" // family of the most recent # TYPE line
+		sc := bufio.NewScanner(bytes.NewReader(src.Text))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				continue
+			case strings.HasPrefix(line, "# HELP "):
+				name, help, _ := strings.Cut(line[len("# HELP "):], " ")
+				if f := get(name); f.help == "" {
+					f.help = help
+				}
+			case strings.HasPrefix(line, "# TYPE "):
+				name, typ, _ := strings.Cut(line[len("# TYPE "):], " ")
+				if f := get(name); f.typ == "" {
+					f.typ = typ
+				}
+				cur = name
+			case strings.HasPrefix(line, "#"):
+				continue
+			default:
+				name := sampleFamily(line)
+				if name == "" {
+					continue
+				}
+				fam := cur
+				// A sample outside its TYPE block (or from a writer that
+				// emits no metadata) still lands in the right family: bucket
+				// and summary suffixes belong to the base family.
+				if fam == "" || !belongsTo(name, fam) {
+					fam = baseFamily(name, fams)
+				}
+				f := get(fam)
+				f.lines = append(f.lines, injectLabel(line, "node", src.Node))
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name, f := range fams {
+		if len(f.lines) == 0 {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := NewPromWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		typ := f.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		p.Meta(name, typ, f.help)
+		for _, line := range f.lines {
+			p.Line(line)
+		}
+	}
+	return p.Err()
+}
+
+// sampleFamily returns the metric name of a sample line. Metric names
+// cannot contain '{' or ' ', so the name ends at whichever comes first.
+func sampleFamily(line string) string {
+	end := len(line)
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < end {
+		end = i
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 && i < end {
+		end = i
+	}
+	if end == len(line) { // no value part: not a sample line
+		return ""
+	}
+	return line[:end]
+}
+
+// belongsTo reports whether metric name is part of family fam (equal, or a
+// histogram/summary series of it).
+func belongsTo(name, fam string) bool {
+	if name == fam {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(name, fam); ok {
+		switch rest {
+		case "_bucket", "_sum", "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// baseFamily strips histogram/summary suffixes when the base family is
+// already known, else registers the name as its own family.
+func baseFamily(name string, fams map[string]*fedFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, known := fams[base]; known {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// injectLabel adds one label pair to a rendered sample line. The metric
+// name cannot contain '{' or ' ', so the insertion point is the first of
+// either; existing label values (which may contain both) come after it.
+func injectLabel(line, name, value string) string {
+	pair := name + `="` + escapeLabelValue(value) + `"`
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		sep := ","
+		if brace+1 < len(line) && line[brace+1] == '}' {
+			sep = ""
+		}
+		return line[:brace+1] + pair + sep + line[brace+1:]
+	}
+	if space < 0 {
+		return line
+	}
+	return line[:space] + "{" + pair + "}" + line[space:]
+}

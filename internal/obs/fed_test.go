@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func federate(t *testing.T, sources ...FederatedSource) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteFederated(&sb, sources); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestWriteFederatedMergesFamilies(t *testing.T) {
+	a := []byte(`# HELP permine_queue_depth Jobs waiting for a worker.
+# TYPE permine_queue_depth gauge
+permine_queue_depth 2
+# HELP permine_jobs Jobs in each state.
+# TYPE permine_jobs gauge
+permine_jobs{state="done"} 3
+`)
+	b := []byte(`# HELP permine_queue_depth Different help text loses.
+# TYPE permine_queue_depth gauge
+permine_queue_depth 7
+`)
+	out := federate(t,
+		FederatedSource{Node: "n1", Text: a},
+		FederatedSource{Node: "n2", Text: b})
+
+	for _, want := range []string{
+		`permine_queue_depth{node="n1"} 2`,
+		`permine_queue_depth{node="n2"} 7`,
+		`permine_jobs{node="n1",state="done"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	if c := strings.Count(out, "# TYPE permine_queue_depth gauge"); c != 1 {
+		t.Errorf("TYPE emitted %d times, want once:\n%s", c, out)
+	}
+	if strings.Contains(out, "Different help text") {
+		t.Errorf("second source's HELP overrode the first:\n%s", out)
+	}
+	// Families sorted by name: permine_jobs before permine_queue_depth.
+	if j, q := strings.Index(out, "# TYPE permine_jobs"), strings.Index(out, "# TYPE permine_queue_depth"); j > q {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestWriteFederatedLabelValuesWithBracesAndSpaces(t *testing.T) {
+	// Route label values contain spaces and braces; the node label must
+	// land right after the opening brace, not inside the value.
+	src := []byte(`# TYPE permine_requests_total counter
+permine_requests_total{route="GET /v1/jobs/{id}",class="2xx"} 12
+`)
+	out := federate(t, FederatedSource{Node: "n1", Text: src})
+	want := `permine_requests_total{node="n1",route="GET /v1/jobs/{id}",class="2xx"} 12`
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+}
+
+func TestWriteFederatedHistogramGrouping(t *testing.T) {
+	a := []byte(`# HELP lat Latency.
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="+Inf"} 2
+lat_sum 0.3
+lat_count 2
+`)
+	// The second source emits a bare bucket sample with no metadata at
+	// all; it must still join the lat family registered by the first.
+	b := []byte("lat_bucket{le=\"+Inf\"} 9\n")
+	out := federate(t,
+		FederatedSource{Node: "n1", Text: a},
+		FederatedSource{Node: "n2", Text: b})
+
+	if c := strings.Count(out, "# TYPE lat histogram"); c != 1 {
+		t.Fatalf("TYPE lat emitted %d times, want once:\n%s", c, out)
+	}
+	idx := strings.Index(out, "# TYPE lat histogram")
+	block := out[idx:]
+	for _, want := range []string{
+		`lat_bucket{node="n1",le="0.1"} 1`,
+		`lat_sum{node="n1"} 0.3`,
+		`lat_count{node="n1"} 2`,
+		`lat_bucket{node="n2",le="+Inf"} 9`,
+	} {
+		if !strings.Contains(block, want) {
+			t.Errorf("lat family missing %q:\n%s", want, out)
+		}
+	}
+	// No spurious standalone lat_bucket family.
+	if strings.Contains(out, "# TYPE lat_bucket") {
+		t.Errorf("bucket suffix registered as its own family:\n%s", out)
+	}
+}
+
+func TestWriteFederatedNodeEscaping(t *testing.T) {
+	src := []byte("# TYPE up gauge\nup 1\n")
+	out := federate(t, FederatedSource{Node: `we"ird\node`, Text: src})
+	if want := `up{node="we\"ird\\node"} 1`; !strings.Contains(out, want) {
+		t.Errorf("node label not escaped, want %q in:\n%s", want, out)
+	}
+}
+
+func TestWriteFederatedEmptyBracesAndUntyped(t *testing.T) {
+	src := []byte("odd{} 4\n")
+	out := federate(t, FederatedSource{Node: "n1", Text: src})
+	if want := `odd{node="n1"} 4`; !strings.Contains(out, want) {
+		t.Errorf("empty label set mishandled, want %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE odd untyped") {
+		t.Errorf("metadata-less family not emitted as untyped:\n%s", out)
+	}
+	// Comment lines and valueless fragments are dropped, never emitted raw.
+	junk := []byte("# random comment\ngarbage-without-value\n")
+	if out := federate(t, FederatedSource{Node: "n1", Text: junk}); strings.Contains(out, "random") || strings.Contains(out, "garbage") {
+		t.Errorf("junk lines leaked into output:\n%s", out)
+	}
+}

@@ -34,6 +34,14 @@ func (p *PromWriter) printf(s string) {
 	_, p.err = io.WriteString(p.w, s)
 }
 
+// Line writes one pre-rendered exposition line verbatim plus a newline.
+// The federation merger uses it to re-emit already-formatted sample lines
+// after label injection.
+func (p *PromWriter) Line(s string) {
+	p.printf(s)
+	p.printf("\n")
+}
+
 // Meta writes the # HELP and # TYPE header for a metric family. typ is
 // "counter", "gauge", or "histogram".
 func (p *PromWriter) Meta(name, typ, help string) {

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSampleRateZeroDropsRoots(t *testing.T) {
+	col := &collector{}
+	tr := NewTracer(col)
+	tr.SetSampleRate(0)
+
+	for i := 0; i < 50; i++ {
+		ctx, root := tr.StartRoot(context.Background(), "req-1", "http.request")
+		if root != nil {
+			t.Fatal("sampled-out root is not nil")
+		}
+		if FromContext(ctx) != nil {
+			t.Fatal("sampled-out context carries a span")
+		}
+		if _, s := tr.Start(context.Background(), "fresh"); s != nil {
+			t.Fatal("Start on an empty context created a root despite rate 0")
+		}
+	}
+	if n := len(col.all()); n != 0 {
+		t.Fatalf("%d spans exported at sample rate 0, want 0", n)
+	}
+}
+
+func TestSampleRateAdmitsChildrenOfValidParent(t *testing.T) {
+	col := &collector{}
+	tr := NewTracer(col)
+	tr.SetSampleRate(0)
+
+	// A valid remote parent means the trace was admitted on another node:
+	// the local child must never be re-sampled.
+	parent := SpanContext{TraceID: "remote-trace", SpanID: "abc123"}
+	for i := 0; i < 50; i++ {
+		_, s := tr.StartLink(context.Background(), parent, "job.run")
+		if s == nil {
+			t.Fatal("child of a valid parent was sampled out")
+		}
+		s.End()
+	}
+	if n := len(col.all()); n != 50 {
+		t.Fatalf("%d spans exported, want 50", n)
+	}
+}
+
+func TestSampleRateOneKeepsEverything(t *testing.T) {
+	col := &collector{}
+	tr := NewTracer(col)
+	tr.SetSampleRate(1)
+	for i := 0; i < 50; i++ {
+		_, s := tr.StartRoot(context.Background(), "", "op")
+		if s == nil {
+			t.Fatal("root dropped at sample rate 1")
+		}
+		s.End()
+	}
+	if n := len(col.all()); n != 50 {
+		t.Fatalf("%d spans exported, want 50", n)
+	}
+}
+
+func TestSampleRateClamped(t *testing.T) {
+	tr := NewTracer(&collector{})
+	tr.SetSampleRate(-5)
+	if tr.drop != 1 {
+		t.Errorf("rate -5: drop = %v, want 1", tr.drop)
+	}
+	tr.SetSampleRate(7)
+	if tr.drop != 0 {
+		t.Errorf("rate 7: drop = %v, want 0", tr.drop)
+	}
+	tr.SetSampleRate(0.25)
+	if tr.drop != 0.75 {
+		t.Errorf("rate 0.25: drop = %v, want 0.75", tr.drop)
+	}
+	// Nil receivers must not panic.
+	var nilTr *Tracer
+	nilTr.SetSampleRate(0.5)
+	nilTr.SetBaseAttrs(KV("node", "x"))
+}
+
+func TestSampledOutPathAllocatesNothing(t *testing.T) {
+	tr := NewTracer(&collector{})
+	tr.SetBaseAttrs(KV("node", "n1"))
+	tr.SetSampleRate(0)
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		_, s := tr.StartRoot(ctx, "some-trace-id", "http.request")
+		s.SetAttr("status", 200)
+		s.AddEvent("tick")
+		s.End()
+	}); n != 0 {
+		t.Errorf("sampled-out request allocated %.1f times per run, want 0", n)
+	}
+}
+
+func TestSetBaseAttrsStampedOnEverySpan(t *testing.T) {
+	col := &collector{}
+	tr := NewTracer(col)
+	tr.SetBaseAttrs(KV("node", "n1"))
+
+	ctx, root := tr.StartRoot(context.Background(), "tr-1", "http.request", KV("route", "/v1/jobs"))
+	_, child := Start(ctx, "job.submit")
+	child.End()
+	root.End()
+
+	for _, sd := range col.all() {
+		if len(sd.Attrs) == 0 || sd.Attrs[0].Key != "node" || sd.Attrs[0].Value != "n1" {
+			t.Errorf("span %q attrs = %+v, want node=n1 first", sd.Name, sd.Attrs)
+		}
+	}
+	r := col.all()[1]
+	if len(r.Attrs) != 2 || r.Attrs[1].Key != "route" {
+		t.Errorf("root attrs = %+v, want base attr then start attr", r.Attrs)
+	}
+}
+
+func TestTracerWithTees(t *testing.T) {
+	base := &collector{}
+	tr := NewTracer(base)
+	tr.SetBaseAttrs(KV("node", "n1"))
+	tr.SetSampleRate(1)
+
+	extra := &Collector{}
+	teed := tr.With(extra, nil)
+
+	_, s := teed.StartRoot(context.Background(), "tr-1", "job.run")
+	s.End()
+	if n := len(base.all()); n != 1 {
+		t.Fatalf("base exporter saw %d spans, want 1", n)
+	}
+	if n := extra.Len(); n != 1 {
+		t.Fatalf("teed collector holds %d spans, want 1", n)
+	}
+	got := extra.Spans()[0]
+	if got.TraceID != "tr-1" || len(got.Attrs) == 0 || got.Attrs[0].Key != "node" {
+		t.Errorf("teed span = %+v, want trace tr-1 with node base attr", got)
+	}
+
+	// The original tracer must be unaffected by the copy.
+	_, s2 := tr.Start(context.Background(), "other")
+	s2.End()
+	if n := extra.Len(); n != 1 {
+		t.Errorf("original tracer leaked a span into the teed collector (%d)", n)
+	}
+
+	// With on a nil tracer still produces a working tracer.
+	var nilTr *Tracer
+	only := &Collector{}
+	_, s3 := nilTr.With(only).Start(context.Background(), "solo")
+	s3.End()
+	if only.Len() != 1 {
+		t.Error("With on nil tracer dropped the extra exporter")
+	}
+}
+
+func TestCollectorCopies(t *testing.T) {
+	c := &Collector{}
+	c.ExportSpan(SpanData{Name: "a"})
+	c.ExportSpan(SpanData{Name: "b"})
+	spans := c.Spans()
+	if len(spans) != 2 || c.Len() != 2 {
+		t.Fatalf("collector holds %d/%d spans, want 2", len(spans), c.Len())
+	}
+	spans[0].Name = "mutated"
+	if c.Spans()[0].Name != "a" {
+		t.Error("Spans() exposed internal storage")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -10,6 +11,8 @@ import (
 // zero value and nil are usable (spans become no-ops).
 type Tracer struct {
 	exporters []Exporter
+	baseAttrs []Attr
+	drop      float64 // probability a new root is sampled out; 0 keeps everything
 }
 
 // NewTracer builds a Tracer exporting to the given sinks (nil entries are
@@ -22,6 +25,56 @@ func NewTracer(exporters ...Exporter) *Tracer {
 		}
 	}
 	return t
+}
+
+// SetBaseAttrs sets attributes stamped on every span the tracer creates
+// (the daemon sets node=<id> so cross-node traces identify their origin).
+// Call before the tracer is shared between goroutines.
+func (t *Tracer) SetBaseAttrs(attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.baseAttrs = append([]Attr(nil), attrs...)
+}
+
+// SetSampleRate sets the head-sampling rate in [0,1]. The decision is made
+// once per trace, when a root span is created: sampled-out roots return a
+// nil span, every descendant of a nil span is already nil, and nothing is
+// allocated. Children of a valid parent are never dropped (the trace was
+// already admitted). Call before the tracer is shared between goroutines.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if t == nil {
+		return
+	}
+	switch {
+	case rate <= 0:
+		t.drop = 1
+	case rate >= 1:
+		t.drop = 0
+	default:
+		t.drop = 1 - rate
+	}
+}
+
+// With returns a copy of the tracer that also exports to extra (nil
+// entries dropped). Base attributes and the sampling rate carry over.
+// MineForPeer uses it to tee a forwarded job's spans into a per-request
+// Collector that ships them back to the coordinator.
+func (t *Tracer) With(extra ...Exporter) *Tracer {
+	if t == nil {
+		return NewTracer(extra...)
+	}
+	nt := &Tracer{
+		exporters: append([]Exporter(nil), t.exporters...),
+		baseAttrs: t.baseAttrs,
+		drop:      t.drop,
+	}
+	for _, e := range extra {
+		if e != nil {
+			nt.exporters = append(nt.exporters, e)
+		}
+	}
+	return nt
 }
 
 // Span is one in-flight operation. All methods are safe for concurrent
@@ -87,11 +140,21 @@ func (t *Tracer) StartLink(ctx context.Context, parent SpanContext, name string,
 }
 
 func (t *Tracer) start(ctx context.Context, parent SpanContext, traceID, name string, attrs []Attr) (context.Context, *Span) {
+	// Head sampling: the decision is taken exactly once per trace, at root
+	// creation. Bail before allocating anything so sampled-out traffic
+	// costs a coin flip and nothing else.
+	if !parent.Valid() && t.drop > 0 && rand.Float64() < t.drop {
+		return ctx, nil
+	}
 	sd := SpanData{
 		SpanID: newSpanID(),
 		Name:   name,
 		Start:  time.Now(),
-		Attrs:  append([]Attr(nil), attrs...),
+	}
+	if n := len(t.baseAttrs) + len(attrs); n > 0 {
+		sd.Attrs = make([]Attr, 0, n)
+		sd.Attrs = append(sd.Attrs, t.baseAttrs...)
+		sd.Attrs = append(sd.Attrs, attrs...)
 	}
 	switch {
 	case parent.Valid():

@@ -13,6 +13,7 @@ import (
 
 	"permine/internal/cluster"
 	"permine/internal/core"
+	"permine/internal/obs"
 	"permine/internal/seq"
 	"permine/internal/server/store"
 )
@@ -119,12 +120,12 @@ func (s *Server) handleClusterMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.mineForPeerRequest(r.Context(), req)
+	res, spans, err := s.mineForPeerRequest(r.Context(), req)
 	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
 		apiError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	resp := cluster.MineResponse{Node: s.nodeID}
+	resp := cluster.MineResponse{Node: s.nodeID, Spans: spans}
 	if err != nil {
 		resp.Error = err.Error()
 	} else {
@@ -145,26 +146,36 @@ func (s *Server) handleClusterMine(w http.ResponseWriter, r *http.Request) {
 
 // mineForPeerRequest rebuilds the subject sequence and parameters from a
 // wire-level MineRequest and hands them to the manager's worker pool.
-func (s *Server) mineForPeerRequest(ctx context.Context, req cluster.MineRequest) (*core.Result, error) {
+func (s *Server) mineForPeerRequest(ctx context.Context, req cluster.MineRequest) (*core.Result, []obs.SpanData, error) {
 	algo, err := core.ParseAlgorithm(strings.ToLower(req.Algorithm))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	alpha, err := alphabetFor(req.SeqAlphabet, req.SeqSymbols)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	subject, err := seq.New(alpha, req.SeqName, req.SeqData)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var p core.Params
 	if len(req.Params) > 0 {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
-			return nil, fmt.Errorf("decoding params: %w", err)
+			return nil, nil, fmt.Errorf("decoding params: %w", err)
 		}
 	}
-	return s.mgr.MineForPeer(ctx, subject, algo, p)
+	return s.mgr.MineForPeer(ctx, subject, algo, p, RemoteTrace{Job: req.Job, Parent: req.Trace()})
+}
+
+// RemoteTrace identifies the coordinator-side trace a forwarded mining
+// unit belongs to: the originating job/shard label and the coordinator
+// span (job.run or corpus.shard) the peer's spans should parent under.
+// An invalid Parent disables remote span collection (old coordinators,
+// direct RPC callers, or a sampled-out trace).
+type RemoteTrace struct {
+	Job    string
+	Parent obs.SpanContext
 }
 
 // MineForPeer runs one forwarded mining unit through this node's normal
@@ -173,15 +184,46 @@ func (s *Server) mineForPeerRequest(ctx context.Context, req cluster.MineRequest
 // finishes or the peer request's context dies; a dead request context
 // cancels the mining run (coordinator gone — its retry budget owns the
 // shard now, finishing here would be wasted work).
-func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo core.Algorithm, params core.Params) (*core.Result, error) {
+//
+// When the request carries a valid trace parent, the run happens under a
+// linked job.run span teed into a per-request Collector; the returned
+// spans (job.run plus its mine.level children) travel back piggybacked on
+// the result frame so the coordinator assembles one cross-node tree.
+func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo core.Algorithm, params core.Params, remote RemoteTrace) (*core.Result, []obs.SpanData, error) {
 	np, err := params.Normalize()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var collector *obs.Collector
+	tracer := m.cfg.Tracer
+	if remote.Parent.Valid() {
+		collector = &obs.Collector{}
+		tracer = tracer.With(collector)
+	}
+	collected := func() []obs.SpanData {
+		if collector == nil {
+			return nil
+		}
+		return collector.Spans()
+	}
+	startRun := func(ctx context.Context, attrs ...obs.Attr) (context.Context, *obs.Span) {
+		if collector == nil {
+			return ctx, nil
+		}
+		attrs = append([]obs.Attr{
+			obs.KV("job", remote.Job),
+			obs.KV("algorithm", algo.String()),
+			obs.KV("remote", true),
+		}, attrs...)
+		return tracer.StartLink(ctx, remote.Parent, "job.run", attrs...)
+	}
+
 	key := KeyFor(subject, algo, np)
 	if m.cfg.Cache != nil {
 		if res, ok := m.cfg.Cache.Get(key); ok {
-			return res, nil
+			_, span := startRun(rctx, obs.KV("cache_hit", true))
+			span.End()
+			return res, collected(), nil
 		}
 	}
 
@@ -195,9 +237,12 @@ func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo 
 		defer cancel()
 		stop := context.AfterFunc(rctx, cancel)
 		defer stop()
+		ctx, span := startRun(ctx)
+		defer span.End()
 		if m.cfg.ShardDelay > 0 {
 			select {
 			case <-ctx.Done():
+				span.RecordError(ctx.Err())
 				ch <- reply{nil, ctx.Err()}
 				return
 			case <-time.After(m.cfg.ShardDelay):
@@ -208,6 +253,7 @@ func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo 
 		start := time.Now()
 		res, err := runAlgorithm(algo, subject, p)
 		if err != nil {
+			span.RecordError(err)
 			ch <- reply{nil, err}
 			return
 		}
@@ -223,35 +269,38 @@ func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, ErrShuttingDown
+		return nil, nil, ErrShuttingDown
 	}
 	select {
 	case m.queue <- task:
 		m.mu.Unlock()
 	default:
 		m.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, nil, ErrQueueFull
 	}
 
 	select {
 	case rep := <-ch:
-		return rep.res, rep.err
+		return rep.res, collected(), rep.err
 	case <-rctx.Done():
 		// The queued task observes rctx through AfterFunc and aborts on
 		// its own; the buffered channel keeps its send from leaking.
-		return nil, rctx.Err()
+		return nil, nil, rctx.Err()
 	}
 }
 
 // mineRequestFor renders a mining unit into its wire form. Params marshal
 // without their runtime-only fields (Ctx, Progress, Hooks are json:"-"),
-// so the receiver re-normalizes a clean copy.
-func mineRequestFor(id string, algo core.Algorithm, subject *seq.Sequence, p core.Params) (cluster.MineRequest, error) {
+// so the receiver re-normalizes a clean copy. The span carried by ctx
+// (job.run for whole jobs, corpus.shard for shards) becomes the remote
+// side's trace parent, and its trace id — which is also the originating
+// X-Request-Id — rides along so both nodes' logs correlate.
+func mineRequestFor(ctx context.Context, id string, algo core.Algorithm, subject *seq.Sequence, p core.Params) (cluster.MineRequest, error) {
 	params, err := json.Marshal(p)
 	if err != nil {
 		return cluster.MineRequest{}, fmt.Errorf("encoding params: %w", err)
 	}
-	return cluster.MineRequest{
+	req := cluster.MineRequest{
 		Job:         id,
 		Algorithm:   algo.String(),
 		SeqName:     subject.Name(),
@@ -259,7 +308,11 @@ func mineRequestFor(id string, algo core.Algorithm, subject *seq.Sequence, p cor
 		SeqSymbols:  string(subject.Alphabet().Symbols()),
 		SeqData:     subject.Data(),
 		Params:      params,
-	}, nil
+	}
+	if sc := obs.FromContext(ctx).Context(); sc.Valid() {
+		req.TraceID, req.ParentSpan = sc.TraceID, sc.SpanID
+	}
+	return req, nil
 }
 
 // mineJob runs one whole job's mining, consulting the cluster ring first.
@@ -297,7 +350,7 @@ func (m *Manager) mineJob(ctx context.Context, j *Job, p core.Params) (*core.Res
 // same stream a local run would produce.
 func (m *Manager) mineJobRemote(ctx context.Context, j *Job, p core.Params, node string) (*core.Result, error) {
 	c := m.cfg.Cluster
-	req, err := mineRequestFor(j.id, j.algorithm, j.seq, p)
+	req, err := mineRequestFor(ctx, j.id, j.algorithm, j.seq, p)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +361,8 @@ func (m *Manager) mineJobRemote(ctx context.Context, j *Job, p core.Params, node
 	j.note = "forwarded to cluster peer " + node
 	j.mu.Unlock()
 
-	raw, err := c.MineRemote(ctx, node, req)
+	raw, spans, err := c.MineRemote(ctx, node, req)
+	m.sinkRemoteSpans(spans)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +395,8 @@ func (m *Manager) mineShardRemote(ctx context.Context, j *corpusJobRef, index in
 	}
 	m.cfg.Store.AppendAssign(j.id, store.AssignRecord{Shard: index, Node: node, At: time.Now()})
 
-	raw, err := c.MineRemote(ctx, node, req)
+	raw, spans, err := c.MineRemote(ctx, node, req)
+	m.sinkRemoteSpans(spans)
 	if err != nil {
 		var remote *cluster.RemoteError
 		if !errors.As(err, &remote) && ctx.Err() == nil && !c.Alive(node) {
@@ -366,6 +421,19 @@ func (m *Manager) mineShardRemote(ctx context.Context, j *corpusJobRef, index in
 // kept narrow so the call site in runShard stays obvious.
 type corpusJobRef struct {
 	id string
+}
+
+// sinkRemoteSpans feeds spans a peer piggybacked on its reply into the
+// coordinator's span sink (the trace ring), so GET /v1/traces/{id} on the
+// coordinator returns the assembled cross-node tree. The spans arrive
+// already finished, already stamped with the remote node's id.
+func (m *Manager) sinkRemoteSpans(spans []obs.SpanData) {
+	if m.cfg.SpanSink == nil {
+		return
+	}
+	for _, sd := range spans {
+		m.cfg.SpanSink.ExportSpan(sd)
+	}
 }
 
 // shardDelay sleeps the configured debug delay, aborting with the context.

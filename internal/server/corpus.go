@@ -170,7 +170,7 @@ func (m *Manager) runShard(ctx context.Context, j *corpus.Job, s *corpus.Shard) 
 	if c := m.cfg.Cluster; c != nil {
 		pl := c.Place(key.ID.SeqHash[:])
 		if pl.Node != "" {
-			req, err := mineRequestFor(j.ID(), j.Algorithm(), s.Seq(), p)
+			req, err := mineRequestFor(ctx, j.ID(), j.Algorithm(), s.Seq(), p)
 			if err != nil {
 				return nil, err
 			}

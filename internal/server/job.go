@@ -221,6 +221,10 @@ type ManagerConfig struct {
 	// spans (and, through the run context, internal/mine's per-level
 	// spans) into the submitting request's trace.
 	Tracer *obs.Tracer
+	// SpanSink, when non-nil, receives finished spans piggybacked on
+	// remote-mine replies (the server passes its trace ring), so forwarded
+	// work's spans land in the coordinator's /v1/traces view.
+	SpanSink obs.Exporter
 	// Events, when non-nil, receives per-level progress and terminal
 	// events for SSE streaming.
 	Events *Broadcaster

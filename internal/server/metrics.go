@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,20 +18,30 @@ var latencyBuckets = []float64{
 	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300,
 }
 
+// requestBuckets are the upper bounds (seconds) of the per-route HTTP
+// request-duration histogram. Requests live on a much shorter scale than
+// mining runs, so the grid is finer at the bottom and tops out at 10s.
+var requestBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Histogram is a fixed-bucket latency histogram. It is not safe for
 // concurrent use on its own; Metrics serialises access.
 type Histogram struct {
-	counts []int64 // len(latencyBuckets)+1, last is +Inf
+	bounds []float64
+	counts []int64 // len(bounds)+1, last is +Inf
 	sum    float64
 	n      int64
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{counts: make([]int64, len(latencyBuckets)+1)}
+func newHistogram() *Histogram { return newHistogramWith(latencyBuckets) }
+
+func newHistogramWith(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
 func (h *Histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	i := sort.SearchFloat64s(h.bounds, seconds)
 	h.counts[i]++
 	h.sum += seconds
 	h.n++
@@ -61,8 +72,8 @@ func (h *Histogram) view() HistogramView {
 	for i, c := range h.counts {
 		cum += c
 		e := HistogramEntry{Cumulative: cum}
-		if i < len(latencyBuckets) {
-			e.LE = latencyBuckets[i]
+		if i < len(h.bounds) {
+			e.LE = h.bounds[i]
 		}
 		v.Buckets = append(v.Buckets, e)
 	}
@@ -80,10 +91,19 @@ type Metrics struct {
 	requests  map[string]int64 // "route status-class", e.g. "POST /v1/jobs 2xx"
 	recovery  map[string]int64 // boot-time crash-recovery outcomes
 	latency   map[string]*Histogram
+	reqDur    map[string]*Histogram // per-route request duration (non-streaming)
 	queueFn   func() int
-	storeFn   func() store.Stats
-	sseFn     func() SSEStats
-	clusterFn func() cluster.Stats // nil when the node is not a coordinator
+
+	// Rolling SLO accounting: every non-streaming request counts, requests
+	// slower than sloTarget also count as breaches. The target is fixed at
+	// construction (-slo-p99-ms), so breach ratio over any scrape interval
+	// is directly comparable across nodes.
+	sloTarget   float64 // seconds
+	sloRequests int64
+	sloBreaches int64
+	storeFn     func() store.Stats
+	sseFn       func() SSEStats
+	clusterFn   func() cluster.Stats // nil when the node is not a coordinator
 
 	// Corpus-engine counters: jobs by state, terminal transitions, shard
 	// outcomes, retries with their cumulative backoff, and shards replayed
@@ -106,6 +126,7 @@ func NewMetrics(queueFn func() int) *Metrics {
 		requests:       make(map[string]int64),
 		recovery:       make(map[string]int64),
 		latency:        make(map[string]*Histogram),
+		reqDur:         make(map[string]*Histogram),
 		corpusStates:   make(map[string]int64),
 		corpusFinished: make(map[string]int64),
 		corpusShards:   make(map[string]int64),
@@ -196,8 +217,17 @@ func (m *Metrics) ObserveMining(algorithm string, d time.Duration) {
 	h.observe(d.Seconds())
 }
 
-// ObserveRequest counts one HTTP request by route pattern and status class.
-func (m *Metrics) ObserveRequest(route string, status int) {
+// SetSLOTarget fixes the latency objective the SLO counters measure
+// against. Call before the registry is shared between goroutines.
+func (m *Metrics) SetSLOTarget(target time.Duration) {
+	m.sloTarget = target.Seconds()
+}
+
+// ObserveRequest records one finished HTTP request: the count by route
+// pattern and status class, the per-route duration histogram, and the SLO
+// counters. Streaming routes (SSE) are excluded from duration and SLO
+// accounting — their latency is connection lifetime, not service time.
+func (m *Metrics) ObserveRequest(route string, status int, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	class := "2xx"
@@ -210,6 +240,20 @@ func (m *Metrics) ObserveRequest(route string, status int) {
 		class = "3xx"
 	}
 	m.requests[route+" "+class]++
+	if strings.HasSuffix(route, "/events") {
+		return
+	}
+	h, ok := m.reqDur[route]
+	if !ok {
+		h = newHistogramWith(requestBuckets)
+		m.reqDur[route] = h
+	}
+	secs := d.Seconds()
+	h.observe(secs)
+	m.sloRequests++
+	if m.sloTarget > 0 && secs > m.sloTarget {
+		m.sloBreaches++
+	}
 }
 
 // CorpusMetrics is the corpus-engine section of a metrics snapshot.
@@ -227,6 +271,15 @@ type CorpusMetrics struct {
 	ShardsReplayed int64 `json:"shards_replayed_total"`
 }
 
+// SLOStats is the latency-SLO section of a metrics snapshot: how many
+// non-streaming requests finished, how many exceeded the target, and the
+// target itself (so dashboards can label the ratio).
+type SLOStats struct {
+	TargetP99Seconds float64 `json:"target_p99_seconds"`
+	Requests         int64   `json:"requests_total"`
+	Breaches         int64   `json:"breaches_total"`
+}
+
 // MetricsSnapshot is the JSON payload of GET /v1/metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -239,7 +292,12 @@ type MetricsSnapshot struct {
 	Recovery      map[string]int64         `json:"recovery,omitempty"`
 	Requests      map[string]int64         `json:"requests_total"`
 	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
-	SSE           SSEStats                 `json:"sse"`
+	// RequestLatency holds per-route request-duration histograms for the
+	// non-streaming routes; SLO is the rolling breach accounting against
+	// the configured p99 target.
+	RequestLatency map[string]HistogramView `json:"request_duration_seconds"`
+	SLO            SLOStats                 `json:"slo"`
+	SSE            SSEStats                 `json:"sse"`
 	// Cluster is present only on coordinators.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
@@ -249,11 +307,17 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.started).Seconds(),
-		Jobs:          make(map[string]int64, len(m.jobStates)),
-		JobsFinished:  make(map[string]int64, len(m.finished)),
-		Requests:      make(map[string]int64, len(m.requests)),
-		Latency:       make(map[string]HistogramView, len(m.latency)),
+		UptimeSeconds:  time.Since(m.started).Seconds(),
+		Jobs:           make(map[string]int64, len(m.jobStates)),
+		JobsFinished:   make(map[string]int64, len(m.finished)),
+		Requests:       make(map[string]int64, len(m.requests)),
+		Latency:        make(map[string]HistogramView, len(m.latency)),
+		RequestLatency: make(map[string]HistogramView, len(m.reqDur)),
+		SLO: SLOStats{
+			TargetP99Seconds: m.sloTarget,
+			Requests:         m.sloRequests,
+			Breaches:         m.sloBreaches,
+		},
 		Corpus: CorpusMetrics{
 			Jobs:           make(map[string]int64, len(m.corpusStates)),
 			Finished:       make(map[string]int64, len(m.corpusFinished)),
@@ -283,6 +347,9 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	}
 	for k, h := range m.latency {
 		snap.Latency[k] = h.view()
+	}
+	for k, h := range m.reqDur {
+		snap.RequestLatency[k] = h.view()
 	}
 	if len(m.recovery) > 0 {
 		snap.Recovery = make(map[string]int64, len(m.recovery))

@@ -78,7 +78,7 @@ func TestMetricsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				m.ObserveMining("mppm", time.Duration(i)*time.Millisecond)
-				m.ObserveRequest("POST /v1/jobs", 202)
+				m.ObserveRequest("POST /v1/jobs", 202, 3*time.Millisecond)
 				m.JobTransition("", JobQueued)
 				m.JobTransition(JobQueued, JobDone)
 				m.JobRecovered(JobDone, "terminal")
@@ -120,5 +120,39 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 	if got := snap.Jobs["queued"]; got != 0 {
 		t.Errorf("queued gauge = %d, want 0", got)
+	}
+}
+
+// TestObserveRequestSLO: request durations feed the per-route histogram
+// and the SLO counters; only durations over the target count as breaches,
+// and streaming routes are excluded entirely (an SSE connection's
+// "latency" is its lifetime).
+func TestObserveRequestSLO(t *testing.T) {
+	m := NewMetrics(nil)
+	m.SetSLOTarget(50 * time.Millisecond)
+	m.ObserveRequest("POST /v1/jobs", 202, 10*time.Millisecond)
+	m.ObserveRequest("POST /v1/jobs", 202, 80*time.Millisecond)
+	m.ObserveRequest("GET /v1/jobs/{id}", 200, 40*time.Millisecond)
+	m.ObserveRequest("GET /v1/jobs/{id}/events", 200, time.Hour)
+
+	snap := m.Snapshot(nil)
+	if snap.SLO.TargetP99Seconds != 0.05 {
+		t.Errorf("SLO target = %v, want 0.05", snap.SLO.TargetP99Seconds)
+	}
+	if snap.SLO.Requests != 3 {
+		t.Errorf("SLO requests = %d, want 3 (events route excluded)", snap.SLO.Requests)
+	}
+	if snap.SLO.Breaches != 1 {
+		t.Errorf("SLO breaches = %d, want 1", snap.SLO.Breaches)
+	}
+	if h := snap.RequestLatency["POST /v1/jobs"]; h.Count != 2 {
+		t.Errorf("POST /v1/jobs duration count = %d, want 2", h.Count)
+	}
+	if _, ok := snap.RequestLatency["GET /v1/jobs/{id}/events"]; ok {
+		t.Error("streaming route grew a duration histogram")
+	}
+	// The request-class counter still sees every route, streaming included.
+	if got := snap.Requests["GET /v1/jobs/{id}/events 2xx"]; got != 1 {
+		t.Errorf("events route request count = %d, want 1", got)
 	}
 }

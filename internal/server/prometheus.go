@@ -102,6 +102,8 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 		p.Sample("permine_cluster_shards_requeued_total", nil, float64(c.ShardsRequeued))
 		p.Meta("permine_cluster_heartbeat_failures_total", "counter", "Failed heartbeat probes against peers.")
 		p.Sample("permine_cluster_heartbeat_failures_total", nil, float64(c.HeartbeatFailures))
+		p.Meta("permine_cluster_scrape_errors_total", "counter", "Failed peer scrapes during metrics federation.")
+		p.Sample("permine_cluster_scrape_errors_total", nil, float64(c.ScrapeErrors))
 	}
 
 	p.Meta("permine_sse_subscribers", "gauge", "Attached job event streams.")
@@ -119,23 +121,40 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 
 	p.Meta("permine_mining_latency_seconds", "histogram", "Wall-clock latency of finished mining runs, by algorithm.")
 	for _, algo := range sortedKeys(snap.Latency) {
-		h := snap.Latency[algo]
-		for _, b := range h.Buckets {
-			le := "+Inf"
-			if b.LE != 0 {
-				le = obs.FormatLE(b.LE)
-			}
-			p.Sample("permine_mining_latency_seconds_bucket",
-				[]obs.Label{{Name: "algorithm", Value: algo}, {Name: "le", Value: le}},
-				float64(b.Cumulative))
-		}
-		p.Sample("permine_mining_latency_seconds_sum",
-			[]obs.Label{{Name: "algorithm", Value: algo}}, h.SumSeconds)
-		p.Sample("permine_mining_latency_seconds_count",
-			[]obs.Label{{Name: "algorithm", Value: algo}}, float64(h.Count))
+		writeHistogram(p, "permine_mining_latency_seconds",
+			obs.Label{Name: "algorithm", Value: algo}, snap.Latency[algo])
 	}
 
+	p.Meta("permine_http_request_duration_seconds", "histogram", "HTTP request service time by route (streaming routes excluded).")
+	for _, route := range sortedKeys(snap.RequestLatency) {
+		writeHistogram(p, "permine_http_request_duration_seconds",
+			obs.Label{Name: "route", Value: route}, snap.RequestLatency[route])
+	}
+
+	p.Meta("permine_slo_target_p99_seconds", "gauge", "Configured p99 request-latency objective.")
+	p.Sample("permine_slo_target_p99_seconds", nil, snap.SLO.TargetP99Seconds)
+	p.Meta("permine_slo_requests_total", "counter", "Non-streaming HTTP requests measured against the latency SLO.")
+	p.Sample("permine_slo_requests_total", nil, float64(snap.SLO.Requests))
+	p.Meta("permine_slo_breaches_total", "counter", "Requests that exceeded the latency SLO target.")
+	p.Sample("permine_slo_breaches_total", nil, float64(snap.SLO.Breaches))
+
 	return p.Err()
+}
+
+// writeHistogram emits one labelled histogram series: cumulative buckets
+// (LE 0 renders as +Inf), then _sum and _count.
+func writeHistogram(p *obs.PromWriter, name string, label obs.Label, h HistogramView) {
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if b.LE != 0 {
+			le = obs.FormatLE(b.LE)
+		}
+		p.Sample(name+"_bucket",
+			[]obs.Label{label, {Name: "le", Value: le}},
+			float64(b.Cumulative))
+	}
+	p.Sample(name+"_sum", []obs.Label{label}, h.SumSeconds)
+	p.Sample(name+"_count", []obs.Label{label}, float64(h.Count))
 }
 
 // sortedKeys returns the map's keys in ascending order for deterministic

@@ -64,7 +64,11 @@ func fixedSnapshot() MetricsSnapshot {
 			"GET /metrics 2xx":      2,
 		},
 		Latency: map[string]HistogramView{"MPPm": h},
-		SSE:     SSEStats{Subscribers: 1, Dropped: 2},
+		RequestLatency: map[string]HistogramView{
+			"POST /v1/jobs": fixedRequestHistogram(),
+		},
+		SLO: SLOStats{TargetP99Seconds: 0.25, Requests: 21, Breaches: 2},
+		SSE: SSEStats{Subscribers: 1, Dropped: 2},
 		Cluster: &cluster.Stats{
 			Self: "http://coord:18080",
 			PeersByState: map[string]int{
@@ -75,8 +79,29 @@ func fixedSnapshot() MetricsSnapshot {
 			ShardsStolen:      3,
 			ShardsRequeued:    2,
 			HeartbeatFailures: 7,
+			ScrapeErrors:      1,
 		},
 	}
+}
+
+// fixedRequestHistogram hand-builds a request-duration view over the
+// request bucket grid: 5 requests, 4 within 10ms, one between 0.5s and 1s.
+func fixedRequestHistogram() HistogramView {
+	h := HistogramView{Count: 5, SumSeconds: 0.75}
+	var cum int64
+	for _, le := range requestBuckets {
+		switch {
+		case le >= 1:
+			cum = 5
+		case le >= 0.01:
+			cum = 4
+		case le >= 0.005:
+			cum = 2
+		}
+		h.Buckets = append(h.Buckets, HistogramEntry{LE: le, Cumulative: cum})
+	}
+	h.Buckets = append(h.Buckets, HistogramEntry{LE: 0, Cumulative: 5}) // +Inf
+	return h
 }
 
 // TestPrometheusGolden pins the full exposition output. Regenerate with
@@ -158,30 +183,58 @@ func TestPrometheusEndpointInvariants(t *testing.T) {
 		}
 	}
 
+	count := checkHistogramInvariants(t, text, "permine_mining_latency_seconds", `algorithm="MPPm"`)
+	if count != 1 {
+		t.Errorf("_count = %v after one mining run, want 1", count)
+	}
+	// The new per-route request-duration histogram must satisfy the same
+	// invariants; the job submit above guarantees at least one observation.
+	if n := checkHistogramInvariants(t, text, "permine_http_request_duration_seconds", `route="POST /v1/jobs"`); n < 1 {
+		t.Errorf("request duration _count = %v, want >= 1", n)
+	}
+	for _, want := range []string{
+		"# TYPE permine_http_request_duration_seconds histogram",
+		"permine_slo_target_p99_seconds",
+		"permine_slo_requests_total",
+		"permine_slo_breaches_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// checkHistogramInvariants asserts that the labelled histogram family in
+// the exposition text has strictly ascending le bounds ending in +Inf,
+// cumulative bucket values, and a +Inf bucket equal to _count. It returns
+// the _count value.
+func checkHistogramInvariants(t *testing.T, text, family, label string) float64 {
+	t.Helper()
 	var les []string
 	var bucketVals []float64
 	var count float64
 	haveCount := false
 	for _, line := range strings.Split(text, "\n") {
-		if strings.HasPrefix(line, `permine_mining_latency_seconds_bucket{algorithm="MPPm"`) {
+		if strings.HasPrefix(line, family+"_bucket{"+label) {
 			le, v := parseBucketLine(t, line)
 			les = append(les, le)
 			bucketVals = append(bucketVals, v)
 		}
-		if strings.HasPrefix(line, `permine_mining_latency_seconds_count{algorithm="MPPm"`) {
+		if strings.HasPrefix(line, family+"_count{"+label) {
 			fields := strings.Fields(line)
-			count, err = strconv.ParseFloat(fields[len(fields)-1], 64)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
 			if err != nil {
 				t.Fatal(err)
 			}
+			count = v
 			haveCount = true
 		}
 	}
 	if len(les) == 0 || !haveCount {
-		t.Fatalf("no MPPm histogram in /metrics:\n%s", text)
+		t.Fatalf("no %s{%s} histogram in /metrics:\n%s", family, label, text)
 	}
 	if les[len(les)-1] != "+Inf" {
-		t.Errorf("last bucket le = %q, want +Inf", les[len(les)-1])
+		t.Errorf("%s: last bucket le = %q, want +Inf", family, les[len(les)-1])
 	}
 	prev := -1.0
 	for _, le := range les[:len(les)-1] {
@@ -190,19 +243,17 @@ func TestPrometheusEndpointInvariants(t *testing.T) {
 			t.Fatalf("le %q: %v", le, err)
 		}
 		if v <= prev {
-			t.Errorf("le bounds not ascending: %v", les)
+			t.Errorf("%s: le bounds not ascending: %v", family, les)
 		}
 		prev = v
 	}
 	for i := 1; i < len(bucketVals); i++ {
 		if bucketVals[i] < bucketVals[i-1] {
-			t.Errorf("bucket counts not cumulative: %v", bucketVals)
+			t.Errorf("%s: bucket counts not cumulative: %v", family, bucketVals)
 		}
 	}
 	if inf := bucketVals[len(bucketVals)-1]; inf != count {
-		t.Errorf("+Inf bucket = %v, _count = %v; must be equal", inf, count)
+		t.Errorf("%s: +Inf bucket = %v, _count = %v; must be equal", family, inf, count)
 	}
-	if count != 1 {
-		t.Errorf("_count = %v after one mining run, want 1", count)
-	}
+	return count
 }

@@ -30,6 +30,9 @@
 //	                            or the cluster peer set is unresolved
 //	POST   /v1/cluster/heartbeat framed ping→pong health probe (cluster peers)
 //	POST   /v1/cluster/mine     execute one forwarded shard or job (cluster peers)
+//	GET    /v1/cluster/metrics  federated Prometheus exposition: this node plus
+//	                            every scrapeable peer, one node label per sample
+//	                            (coordinator only)
 package server
 
 import (
@@ -107,6 +110,19 @@ type Config struct {
 	// TraceSpans bounds the in-memory span ring behind /v1/traces
 	// (default obs.DefaultRingSpans).
 	TraceSpans int
+	// TraceSample is the head-sampling rate for traces in (0,1]: the
+	// decision is made once per trace at root-span creation, and
+	// sampled-out requests produce no spans at zero allocation. 0 means
+	// the default (sample everything); negative disables tracing.
+	TraceSample float64
+	// SLOTargetP99 is the p99 request-latency objective the permine_slo_*
+	// counters measure against (default 250ms): every non-streaming
+	// request counts toward permine_slo_requests_total, and those slower
+	// than the target also increment permine_slo_breaches_total.
+	SLOTargetP99 time.Duration
+	// ClusterScrapeTimeout bounds each peer scrape performed by
+	// GET /v1/cluster/metrics (default 2s).
+	ClusterScrapeTimeout time.Duration
 	// ClusterRole selects the node's cluster mode: "" runs standalone,
 	// "coordinator" places jobs and shards across ClusterPeers, "peer"
 	// only serves the cluster RPC endpoints (which every role exposes).
@@ -151,6 +167,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = c.JobTimeout
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.SLOTargetP99 <= 0 {
+		c.SLOTargetP99 = 250 * time.Millisecond
+	}
+	if c.ClusterScrapeTimeout <= 0 {
+		c.ClusterScrapeTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -182,10 +207,16 @@ type Server struct {
 // the condition is visible on /healthz and /v1/metrics.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	nodeID := newNodeID()
 	cache := NewCache(cfg.CacheSize)
 	metrics := NewMetrics(nil)
+	metrics.SetSLOTarget(cfg.SLOTargetP99)
 	ring := obs.NewRing(cfg.TraceSpans)
 	tracer := obs.NewTracer(ring, &obs.SlogExporter{Logger: cfg.Logger, Level: slog.LevelDebug})
+	// Every span this node creates carries its identity, so a federated
+	// trace tree tells the nodes apart without consulting membership.
+	tracer.SetBaseAttrs(obs.KV("node", nodeID))
+	tracer.SetSampleRate(cfg.TraceSample)
 	events := NewBroadcaster()
 
 	var st store.Store = store.NewMemory()
@@ -247,6 +278,7 @@ func New(cfg Config) *Server {
 		Cluster:            clu,
 		ShardDelay:         cfg.ShardDelay,
 		Tracer:             tracer,
+		SpanSink:           ring,
 		Events:             events,
 		Logger:             cfg.Logger,
 	})
@@ -278,7 +310,7 @@ func New(cfg Config) *Server {
 		events:  events,
 		started: time.Now(),
 		clu:     clu,
-		nodeID:  newNodeID(),
+		nodeID:  nodeID,
 	}
 
 	mux := http.NewServeMux()
@@ -301,6 +333,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
 	mux.HandleFunc("POST /v1/cluster/mine", s.handleClusterMine)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	s.handler = s.logging(mux)
 	return s
 }
@@ -384,14 +417,15 @@ func (s *Server) logging(next http.Handler) http.Handler {
 		}
 		span.SetAttr("status", sw.status)
 		span.End()
-		s.metrics.ObserveRequest(route, sw.status)
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(route, sw.status, elapsed)
 		s.cfg.Logger.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"route", route,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"elapsed", time.Since(start),
+			"elapsed", elapsed,
 			"remote", r.RemoteAddr,
 			"trace_id", traceID,
 		)
@@ -427,7 +461,8 @@ func routeLabel(r *http.Request) string {
 	case path == "/v1/jobs", path == "/v1/corpus", path == "/v1/query",
 		path == "/v1/metrics", path == "/metrics", path == "/v1/traces",
 		path == "/healthz", path == "/readyz",
-		path == "/v1/cluster/heartbeat", path == "/v1/cluster/mine":
+		path == "/v1/cluster/heartbeat", path == "/v1/cluster/mine",
+		path == "/v1/cluster/metrics":
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		if strings.HasSuffix(path, "/events") {
 			path = "/v1/jobs/{id}/events"

@@ -1,0 +1,152 @@
+// Command loadgen is a closed-loop HTTP load generator for the latency
+// SLO gate (`make slo-check`). It paces GET requests at a fixed aggregate
+// RPS across a bounded worker pool — closed-loop: a worker issues its next
+// request only after the previous one finished, so an overloaded server
+// sheds offered load instead of accumulating an unbounded in-flight queue
+// — then reports nearest-rank latency percentiles and optionally fails
+// when the measured p99 exceeds -target-p99.
+//
+//	loadgen -addr http://localhost:8080 -path /healthz -rps 200 -duration 5s -target-p99 250ms
+//
+// The summary line is stable and machine-parseable:
+//
+//	loadgen: requests=985 errors=0 rps=197.0 p50=0.31ms p95=0.52ms p99=0.74ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://localhost:8080", "base URL of the daemon under load")
+		path        = fs.String("path", "/healthz", "request path to load")
+		rps         = fs.Int("rps", 200, "offered request rate per second")
+		duration    = fs.Duration("duration", 5*time.Second, "how long to generate load")
+		concurrency = fs.Int("concurrency", 8, "closed-loop worker count (bounds in-flight requests)")
+		targetP99   = fs.Duration("target-p99", 0, "fail (exit 1) when measured p99 exceeds this (0 = report only)")
+		maxErrRate  = fs.Float64("max-error-rate", 0.01, "fail when errors/requests exceeds this fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rps <= 0 || *concurrency <= 0 || *duration <= 0 {
+		return fmt.Errorf("rps, concurrency and duration must be positive")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := *addr + *path
+
+	// The pacer drips one token per 1/rps interval; workers block on the
+	// channel, so the offered rate is fixed and the loop stays closed.
+	tokens := make(chan struct{}, *rps)
+	done := make(chan struct{})
+	go func() {
+		interval := time.Second / time.Duration(*rps)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		deadline := time.NewTimer(*duration)
+		defer deadline.Stop()
+		for {
+			select {
+			case <-deadline.C:
+				close(done)
+				return
+			case <-tick.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // every worker busy: shed, do not queue
+				}
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errors    int
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tokens:
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				elapsed := time.Since(t0)
+				ok := err == nil && resp.StatusCode < 500
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				mu.Lock()
+				if ok {
+					latencies = append(latencies, elapsed)
+				} else {
+					errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	n := len(latencies)
+	total := n + errors
+	if total == 0 {
+		return fmt.Errorf("no requests completed against %s", url)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50, p95, p99 := percentile(latencies, 0.50), percentile(latencies, 0.95), percentile(latencies, 0.99)
+	fmt.Fprintf(stdout, "loadgen: requests=%d errors=%d rps=%.1f p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		total, errors, float64(total)/elapsed.Seconds(),
+		ms(p50), ms(p95), ms(p99))
+
+	if rate := float64(errors) / float64(total); rate > *maxErrRate {
+		return fmt.Errorf("error rate %.3f exceeds %.3f", rate, *maxErrRate)
+	}
+	if *targetP99 > 0 && n > 0 && p99 > *targetP99 {
+		return fmt.Errorf("p99 %.2fms exceeds target %.2fms", ms(p99), ms(*targetP99))
+	}
+	return nil
+}
+
+// percentile returns the nearest-rank percentile of sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

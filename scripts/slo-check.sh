@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Latency SLO gate: boot a permined on a scratch port, drive it with the
+# closed-loop generator (scripts/loadgen) at a fixed RPS, and fail when
+# the measured p99 exceeds the target. Runs next to bench-check in CI so
+# edge-latency regressions fail the build, not a dashboard.
+#
+# Environment:
+#   SLO_PORT          listen port for the throwaway daemon (default 18099)
+#   SLO_TARGET_P99_MS p99 objective in milliseconds   (default 250)
+#   SLO_RPS           offered request rate            (default 150)
+#   SLO_DURATION      load duration                   (default 3s)
+#
+# The gate also proves it can fail: a second run with an impossible
+# (1 nanosecond) target must exit non-zero, so a broken comparison can
+# never silently pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${SLO_PORT:-18099}"
+TARGET_MS="${SLO_TARGET_P99_MS:-250}"
+RPS="${SLO_RPS:-150}"
+DURATION="${SLO_DURATION:-3s}"
+BASE="http://127.0.0.1:$PORT"
+
+BIN="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/permined" ./cmd/permined
+go build -o "$BIN/loadgen" ./scripts/loadgen
+
+"$BIN/permined" -addr "127.0.0.1:$PORT" -workers 2 -slo-p99-ms "$TARGET_MS" >"$BIN/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "slo-check: daemon never became ready on $BASE" >&2
+        cat "$BIN/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "slo-check: p99 target ${TARGET_MS}ms at ${RPS} rps for ${DURATION} against $BASE"
+"$BIN/loadgen" -addr "$BASE" -path /healthz -rps "$RPS" -duration "$DURATION" -target-p99 "${TARGET_MS}ms"
+
+# The daemon's own SLO counters must have seen the load (the loadgen
+# measures client-side; permine_slo_requests_total proves the server-side
+# RED layer observed the same traffic).
+METRICS="$(curl -fsS "$BASE/metrics")"
+SLO_REQS="$(printf '%s\n' "$METRICS" | awk '/^permine_slo_requests_total/ {print $2}')"
+case "$SLO_REQS" in
+    '' | 0)
+        echo "slo-check: permine_slo_requests_total = '$SLO_REQS' after the load run; server-side SLO counters are dead" >&2
+        exit 1
+        ;;
+esac
+echo "slo-check: server observed permine_slo_requests_total=$SLO_REQS"
+
+# Negative control: an impossible target must fail the gate.
+if "$BIN/loadgen" -addr "$BASE" -path /healthz -rps 50 -duration 1s -target-p99 1ns >/dev/null 2>&1; then
+    echo "slo-check: gate passed an impossible 1ns p99 target — the comparison is broken" >&2
+    exit 1
+fi
+echo "slo-check: negative control failed as expected; gate OK"
