@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/async/ ./internal/cluster/... ./internal/corpus/... ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/
+	$(GO) test -race ./internal/async/ ./internal/cluster/... ./internal/corpus/... ./internal/mine/ ./internal/obs/ ./internal/server/... ./internal/pil/ ./internal/embound/ ./internal/seq/
 
 # The full pre-merge gate: build, vet, tests, the race detector over
 # the concurrent packages, a short fuzz pass over the PIL invariants,
@@ -55,6 +55,7 @@ slo-check:
 FUZZTIME ?= 5s
 fuzz-short:
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoin$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoinBitap$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzMerge$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pil/ -run '^$$' -fuzz 'FuzzJoinOracle$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz 'FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)

@@ -48,6 +48,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxLen   = fs.Int("n", 0, "MPP estimate of the longest frequent pattern length (0 = worst case l1)")
 		emOrder  = fs.Int("m", 8, "MPPm e_m order")
 		workers  = fs.Int("workers", 1, "worker goroutines for candidate counting")
+		join     = fs.String("join", "auto", "PIL join strategy: auto, twoptr, cum, bitap (results are identical; forced values are for debugging and benchmarks)")
 		topK     = fs.Int("topk", 0, "mine only the K best patterns by support ratio (0 = all)")
 		motif    = fs.String("motif", "", "targeted mining: keep only patterns containing this character string")
 		verbose  = fs.Bool("v", false, "print per-level metrics")
@@ -95,6 +96,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
+	joinStrat, err := permine.ParseJoinStrategy(*join)
+	if err != nil {
+		return err
+	}
 	params := permine.Params{
 		Gap:        permine.Gap{N: *gapMin, M: *gapMax},
 		MinSupport: *support / 100,
@@ -103,6 +108,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Workers:    *workers,
 		TopK:       *topK,
 		Motif:      *motif,
+		Join:       joinStrat,
 	}
 
 	if *query != "" {

@@ -5,6 +5,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"permine/internal/combinat"
@@ -44,6 +45,87 @@ func (a Algorithm) String() string {
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// JoinStrategy selects how the level-wise miners join PILs when counting
+// candidate supports. All strategies compute identical results (the
+// differential and fuzz suites prove byte-identical frequent-pattern
+// output); the choice is purely a performance knob, so it is excluded
+// from result caching identity, like Params.Workers.
+type JoinStrategy int
+
+const (
+	// JoinAuto picks a strategy per suffix list from the density/reuse
+	// heuristic in internal/mine (the default and the right choice
+	// outside of debugging and benchmarking).
+	JoinAuto JoinStrategy = iota
+	// JoinTwoPointer forces the sliding-window two-pointer merge
+	// (pil.JoinInto) everywhere.
+	JoinTwoPointer
+	// JoinCum forces the cumulative-support table join (pil.JoinCum)
+	// wherever its span cap allows, falling back to the two-pointer scan
+	// beyond it.
+	JoinCum
+	// JoinBitap forces the bit-parallel bitmap join (pil.JoinBitmap)
+	// wherever its span cap allows, falling back to the two-pointer scan
+	// beyond it.
+	JoinBitap
+)
+
+// String implements fmt.Stringer; the names double as the CLI/API values.
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinAuto:
+		return "auto"
+	case JoinTwoPointer:
+		return "twoptr"
+	case JoinCum:
+		return "cum"
+	case JoinBitap:
+		return "bitap"
+	default:
+		return fmt.Sprintf("JoinStrategy(%d)", int(s))
+	}
+}
+
+// ParseJoinStrategy maps a strategy name ("auto", "twoptr", "cum",
+// "bitap") to its JoinStrategy value. The empty string is JoinAuto.
+func ParseJoinStrategy(name string) (JoinStrategy, error) {
+	switch name {
+	case "", "auto":
+		return JoinAuto, nil
+	case "twoptr", "two-pointer":
+		return JoinTwoPointer, nil
+	case "cum", "cumulative":
+		return JoinCum, nil
+	case "bitap", "bitmap":
+		return JoinBitap, nil
+	default:
+		return 0, fmt.Errorf("core: unknown join strategy %q (want auto, twoptr, cum, bitap)", name)
+	}
+}
+
+// MarshalJSON renders the strategy by name, so journaled and forwarded
+// Params stay readable and stable across enum reordering.
+func (s JoinStrategy) MarshalJSON() ([]byte, error) {
+	if s < JoinAuto || s > JoinBitap {
+		return nil, fmt.Errorf("core: cannot marshal %v", s)
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts a strategy name (absent/empty means auto).
+func (s *JoinStrategy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseJoinStrategy(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // Params carries every knob of a mining run. The zero value is not usable;
@@ -96,6 +178,12 @@ type Params struct {
 	// it is interpreted by internal/query; the motif must be a string
 	// over the subject sequence's alphabet.
 	Motif string
+
+	// Join pins the PIL join strategy used for support counting
+	// (default JoinAuto: per-suffix-list heuristic). Results are
+	// identical for every value; the forced strategies exist for
+	// debugging, benchmarking and the differential suites.
+	Join JoinStrategy `json:"Join,omitempty"`
 
 	// Hooks optionally threads query-layer behaviour (dynamic
 	// thresholds, targeted candidate filters) into the level-wise
@@ -260,6 +348,9 @@ func (p Params) Normalize() (Params, error) {
 	}
 	if p.TopK < 0 {
 		return p, fmt.Errorf("core: TopK %d must be >= 0", p.TopK)
+	}
+	if p.Join < JoinAuto || p.Join > JoinBitap {
+		return p, fmt.Errorf("core: unknown join strategy %d", int(p.Join))
 	}
 	return p, nil
 }

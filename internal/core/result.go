@@ -70,6 +70,21 @@ type LevelMetrics struct {
 	// joins (prefix plus suffix list lengths): the offset-window scan
 	// work the support counting physically did.
 	PILEntries int64
+	// JoinTwoPointer, JoinCum and JoinBitap split PILJoins by the
+	// strategy that executed each join (the two-pointer window merge,
+	// the cumulative-support table, the bit-parallel bitmap kernel).
+	// Their sum equals PILJoins; under Params.Join == JoinAuto the split
+	// records what the density/reuse heuristic chose.
+	JoinTwoPointer int64
+	JoinCum        int64
+	JoinBitap      int64
+	// CumSpanFallbacks counts joins whose strategy selection favored a
+	// cumulative table (or was forced to one) but whose suffix X span
+	// exceeded the maxCumSpan memory cap in internal/mine, degrading the
+	// join to a cheaper strategy. A non-zero count flags regimes where
+	// the strategy selector is running capped — the cap used to be
+	// silent, which hid selection regressions.
+	CumSpanFallbacks int64
 	// Lambda is the pruning factor λ(n, n−i) applied at this level.
 	Lambda float64
 	// Elapsed is wall-clock time spent on this level; GenElapsed and

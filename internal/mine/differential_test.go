@@ -36,6 +36,12 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 		{6, 110, combinat.Gap{N: 5, M: 6}, 0.02},
 		{7, 80, combinat.Gap{N: 4, M: 5}, 0.005},
 	}
+	// Every join strategy must reproduce the oracle exactly: the forced
+	// values prove the two-pointer, cumulative-table and bitmap kernels
+	// are interchangeable across all four algorithms and the whole grid,
+	// and auto proves the per-list selector never mixes in a wrong
+	// answer whichever kernel it picks.
+	strategies := []core.JoinStrategy{core.JoinAuto, core.JoinTwoPointer, core.JoinCum, core.JoinBitap}
 	for _, cfg := range configs {
 		cfg := cfg
 		name := fmt.Sprintf("seed%d_L%d_gap%d-%d", cfg.seed, cfg.length, cfg.g.N, cfg.g.M)
@@ -48,55 +54,98 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			base := core.Params{Gap: cfg.g, MinSupport: cfg.rho}
+			for _, join := range strategies {
+				base := core.Params{Gap: cfg.g, MinSupport: cfg.rho, Join: join}
+				tag := func(label string) string { return label + " (join=" + join.String() + ") vs oracle" }
 
-			p := base
-			p.MaxLen = maxLen
-			mpp, err := mine.MPP(s, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			comparePatterns(t, "MPP vs oracle", mpp.Patterns, want, 3, maxLen)
+				p := base
+				p.MaxLen = maxLen
+				mpp, err := mine.MPP(s, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparePatterns(t, tag("MPP"), mpp.Patterns, want, 3, maxLen)
 
-			p = base
-			p.EmOrder = 6
-			mppm, err := mine.MPPm(s, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			upper := maxLen
-			if mppm.N < upper {
-				upper = mppm.N
-			}
-			comparePatterns(t, "MPPm vs oracle", mppm.Patterns, want, 3, upper)
+				p = base
+				p.EmOrder = 6
+				mppm, err := mine.MPPm(s, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				upper := maxLen
+				if mppm.N < upper {
+					upper = mppm.N
+				}
+				comparePatterns(t, tag("MPPm"), mppm.Patterns, want, 3, upper)
 
-			p = base
-			p.MaxLen = 4
-			ada, err := mine.Adaptive(s, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			upper = maxLen
-			if fin := ada.Rounds[len(ada.Rounds)-1]; fin < upper {
-				upper = fin
-			}
-			comparePatterns(t, "adaptive vs oracle", ada.Patterns, want, 3, upper)
+				p = base
+				p.MaxLen = 4
+				ada, err := mine.Adaptive(s, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				upper = maxLen
+				if fin := ada.Rounds[len(ada.Rounds)-1]; fin < upper {
+					upper = fin
+				}
+				comparePatterns(t, tag("adaptive"), ada.Patterns, want, 3, upper)
 
-			// The no-pruning baseline grows exponentially with the
-			// window, so cap its physical work and only require the
-			// completed levels to cover the oracle's range (3..maxLen).
-			p = base
-			p.CandidateBudget = 200_000
-			enum, err := mine.Enumerate(s, p)
-			if err != nil && !errors.Is(err, core.ErrBudgetExceeded) {
-				t.Fatal(err)
+				// The no-pruning baseline grows exponentially with the
+				// window, so cap its physical work and only require the
+				// completed levels to cover the oracle's range (3..maxLen).
+				p = base
+				p.CandidateBudget = 200_000
+				enum, err := mine.Enumerate(s, p)
+				if err != nil && !errors.Is(err, core.ErrBudgetExceeded) {
+					t.Fatal(err)
+				}
+				last := enum.Levels[len(enum.Levels)-1].Level
+				if last < maxLen {
+					t.Fatalf("enumerate budget too small: stopped at level %d", last)
+				}
+				comparePatterns(t, tag("enumerate"), enum.Patterns, want, 3, maxLen)
 			}
-			last := enum.Levels[len(enum.Levels)-1].Level
-			if last < maxLen {
-				t.Fatalf("enumerate budget too small: stopped at level %d", last)
-			}
-			comparePatterns(t, "enumerate vs oracle", enum.Patterns, want, 3, maxLen)
 		})
+	}
+}
+
+// TestDifferentialStartLen1Strategies mines from StartLen 1 — the
+// configuration where the first join level seeds its bitmap tables from
+// the sequence's shared per-symbol occurrence bitmaps instead of
+// scattering each level-1 PIL — and checks every strategy still matches
+// the oracle from length 1 up, with identical patterns across strategies.
+func TestDifferentialStartLen1Strategies(t *testing.T) {
+	const maxLen = 4
+	s, err := gen.Uniform(seq.DNA, "startlen1", 160, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := combinat.Gap{N: 1, M: 2}
+	const rho = 0.01
+	want, err := oracle.FrequentPatterns(s, g, rho, 1, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []core.Pattern
+	for _, join := range []core.JoinStrategy{core.JoinAuto, core.JoinTwoPointer, core.JoinCum, core.JoinBitap} {
+		p := core.Params{Gap: g, MinSupport: rho, StartLen: 1, MaxLen: maxLen, Join: join, Workers: 2}
+		res, err := mine.MPP(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePatterns(t, "StartLen=1 (join="+join.String()+") vs oracle", res.Patterns, want, 1, maxLen)
+		if first == nil {
+			first = res.Patterns
+			continue
+		}
+		if len(res.Patterns) != len(first) {
+			t.Fatalf("join=%s: %d patterns, first strategy found %d", join, len(res.Patterns), len(first))
+		}
+		for i := range first {
+			if res.Patterns[i] != first[i] {
+				t.Fatalf("join=%s pattern %d: %+v, first strategy %+v", join, i, res.Patterns[i], first[i])
+			}
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"cmp"
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime/pprof"
 	"slices"
 	"strconv"
@@ -43,8 +44,8 @@ type runner struct {
 	// keyed by explicit character strings instead of uint64 codes.
 	wide bool
 
-	arenas []pil.Arena  // two per worker: arenas[2*w+parity(level)]
-	cumScr []cumScratch // one per worker: cached suffix-run CumTables
+	arenas  []pil.Arena   // two per worker: arenas[2*w+parity(level)]
+	joinScr []joinScratch // one per worker: cached suffix-run join state
 
 	// Per-level scratch, reused across levels.
 	hatBuf    [2][]hatEntry // double-buffered hat storage
@@ -131,10 +132,14 @@ func (r *runner) lambda(i int) float64 {
 // levelStats accumulates the physical counting work of one level, feeding
 // the telemetry fields of core.LevelMetrics.
 type levelStats struct {
-	joins   int64 // PIL merge joins performed
-	entries int64 // PIL entries scanned by those joins
-	gen     time.Duration
-	count   time.Duration
+	joins    int64 // PIL merge joins performed
+	entries  int64 // PIL entries scanned by those joins
+	twoPtr   int64 // joins executed by each strategy; sum == joins
+	cum      int64
+	bitap    int64
+	cumFalls int64 // joins whose cum selection was capped by maxCumSpan
+	gen      time.Duration
+	count    time.Duration
 }
 
 // annotateLevelSpan attaches one level's metrics to its tracing span so a
@@ -151,6 +156,10 @@ func annotateLevelSpan(span *obs.Span, lm core.LevelMetrics) {
 	span.SetAttr("zero_support", lm.ZeroSupport)
 	span.SetAttr("pil_joins", lm.PILJoins)
 	span.SetAttr("pil_entries", lm.PILEntries)
+	span.SetAttr("join_twoptr", lm.JoinTwoPointer)
+	span.SetAttr("join_cum", lm.JoinCum)
+	span.SetAttr("join_bitap", lm.JoinBitap)
+	span.SetAttr("cum_span_fallbacks", lm.CumSpanFallbacks)
 	span.SetAttr("lambda", lm.Lambda)
 	span.SetAttr("gen_ms", float64(lm.GenElapsed)/float64(time.Millisecond))
 	span.SetAttr("count_ms", float64(lm.CountElapsed)/float64(time.Millisecond))
@@ -308,18 +317,22 @@ func (r *runner) collectLevel(i int, candidates int64, entries []hatEntry, st le
 		zero = 0 // analytic candidate counts can saturate below the entry count
 	}
 	lm := core.LevelMetrics{
-		Level:          i,
-		Candidates:     candidates,
-		Frequent:       frequent,
-		Kept:           int64(len(kept)),
-		PrunedByLambda: int64(len(entries)) - int64(len(kept)),
-		ZeroSupport:    zero,
-		PILJoins:       st.joins,
-		PILEntries:     st.entries,
-		Lambda:         lam,
-		Elapsed:        time.Since(start),
-		GenElapsed:     st.gen,
-		CountElapsed:   st.count,
+		Level:            i,
+		Candidates:       candidates,
+		Frequent:         frequent,
+		Kept:             int64(len(kept)),
+		PrunedByLambda:   int64(len(entries)) - int64(len(kept)),
+		ZeroSupport:      zero,
+		PILJoins:         st.joins,
+		PILEntries:       st.entries,
+		JoinTwoPointer:   st.twoPtr,
+		JoinCum:          st.cum,
+		JoinBitap:        st.bitap,
+		CumSpanFallbacks: st.cumFalls,
+		Lambda:           lam,
+		Elapsed:          time.Since(start),
+		GenElapsed:       st.gen,
+		CountElapsed:     st.count,
 	}
 	r.res.Levels = append(r.res.Levels, lm)
 	r.p.ReportLevel(lm)
@@ -474,25 +487,102 @@ type groupRun struct {
 	uses       int32
 }
 
-// cumScratch is one counting worker's cached cumulative-support tables
-// for the suffix run of the group it is processing (indexed by position
-// within the run; use marks runs' lists dense enough to table).
-type cumScratch struct {
+// joinScratch is one counting worker's cached join state for the suffix
+// run of the group it is processing (indexed by position within the run):
+// the strategy chosen for each list, the cumulative or bit tables built
+// for the lists that warrant one, and whether the choice was capped away
+// from the cumulative table by maxCumSpan.
+type joinScratch struct {
+	strat  []core.JoinStrategy
+	capped []bool
 	tables []pil.CumTable
-	use    []bool
+	bits   []pil.BitTable
 }
 
 // maxCumSpan caps a CumTable's X span (8 MiB of int64 per table) so a
-// pathological dense-and-long list cannot balloon worker memory.
+// pathological dense-and-long list cannot balloon worker memory. Lists
+// capped here fall back to the bitmap table or the two-pointer scan, and
+// the capped joins are surfaced as LevelMetrics.CumSpanFallbacks.
 const maxCumSpan = 1 << 20
 
-// cumWorthwhile reports whether joining uses candidates against suffix
-// list s is faster through a cumulative table than through the two-
-// pointer window scan: the O(span) build must amortize over the O(|s|)
-// window work it replaces in each of the uses joins.
-func cumWorthwhile(s pil.List, uses int32) bool {
+// maxBitapSpan caps a BitTable's X span. Bitmaps cost one bit per
+// position against the cumulative table's int64, so the cap sits 16×
+// higher (3×2 MiB of bitmap per table) while still bounding worker
+// memory on pathological spans.
+const maxBitapSpan = 16 << 20
+
+// maxBitapPlanes bounds the Y bit-planes a BitTable may carry: beyond
+// 2^8 distinct counts per position the per-window popcount loop stops
+// beating the cumulative table's single subtraction.
+const maxBitapPlanes = 8
+
+// joinChoice picks the join strategy for suffix list s, joined by uses
+// groups of candidates under a gap window of winW = M−N+1 positions.
+// forced pins the choice, subject only to the span memory guards (a
+// guarded list degrades to the two-pointer scan, which needs no table).
+//
+// Under JoinAuto the cumulative table wins whenever its O(span) build
+// amortizes over the uses joins it serves and the span fits maxCumSpan:
+// per prefix entry it answers the whole window with two loads and a
+// subtraction, which no per-window popcount beats. The bitmap table is
+// the dense-regime fallback when the span cap bites — one bit per
+// position against the table's int64, so it keeps table-style joins
+// viable for another 16× of span before the two-pointer scan takes over.
+// The returned cumCapped flag reports that the amortization favored the
+// cumulative table but maxCumSpan blocked it (the fallback metric),
+// whichever strategy absorbed the degraded join.
+func joinChoice(forced core.JoinStrategy, s pil.List, uses int32, winW int) (strat core.JoinStrategy, cumCapped bool) {
 	span := int(s[len(s)-1].X) - int(s[0].X) + 1
-	return span <= maxCumSpan && span <= 4*int(uses)*len(s)
+	switch forced {
+	case core.JoinTwoPointer:
+		return core.JoinTwoPointer, false
+	case core.JoinCum:
+		if span > maxCumSpan {
+			return core.JoinTwoPointer, true
+		}
+		return core.JoinCum, false
+	case core.JoinBitap:
+		if span > maxBitapSpan {
+			return core.JoinTwoPointer, false
+		}
+		return core.JoinBitap, false
+	}
+	cumAmortizes := span <= 4*int(uses)*len(s)
+	cumOK := cumAmortizes && span <= maxCumSpan
+	cumCapped = cumAmortizes && span > maxCumSpan
+	// The bitmap table is considered only where the cumulative table's own
+	// amortization holds: both stream an O(span) build, so on lists sparser
+	// than cum's density gate the two-pointer scan — whose cost tracks the
+	// handful of live entries, not the span — wins outright (measured:
+	// forcing the bitmap onto those lists loses even to the scan).
+	if (cumOK && winW <= 2) || (cumCapped && winW <= pil.MaxBitapWindow && span <= maxBitapSpan) {
+		maxY := int64(1)
+		for _, e := range s {
+			if e.Y > maxY {
+				maxY = e.Y
+			}
+		}
+		planes := bits.Len64(uint64(maxY))
+		switch {
+		case cumCapped && planes <= maxBitapPlanes:
+			// Past maxCumSpan the bitmap is the only table that still
+			// fits: 2.7× over the degraded two-pointer scan on the
+			// 1.5 Mbp narrow-window benchmark.
+			return core.JoinBitap, true
+		case cumOK && planes <= 3:
+			// Both tables amortize. The cumulative table answers any
+			// window with two loads and a subtraction, which the bitmap's
+			// per-plane popcounts only beat on the narrowest windows:
+			// measured on DNA workloads the bitmap wins W ≤ 2 with few
+			// planes (1.3× at one plane, parity at three) and loses
+			// everywhere wider, 2× by five planes at W = 4.
+			return core.JoinBitap, false
+		}
+	}
+	if cumOK {
+		return core.JoinCum, false
+	}
+	return core.JoinTwoPointer, cumCapped
 }
 
 // countCandidates computes the PIL and support of every candidate by
@@ -525,25 +615,38 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 	groups := r.groups
 	parity := level & 1
 	workers := r.workers()
-	if len(r.cumScr) < workers {
-		r.cumScr = make([]cumScratch, workers)
+	if len(r.joinScr) < workers {
+		r.joinScr = make([]joinScratch, workers)
 	}
 	for w := 0; w < workers; w++ {
 		r.arenas[2*w+parity].Reset()
 	}
 	gap := r.p.Gap
+	winW := gap.M - gap.N + 1
+	forced := r.p.Join
+	// Level-1 suffix lists have Y ≡ 1 at exactly their symbol's
+	// occurrence positions, so bit tables at the first join level borrow
+	// the sequence's shared per-symbol bitmaps (built once, read by every
+	// worker) instead of re-scattering each list.
+	seedBits := r.p.StartLen == 1 && level == 2 && !r.wide
 
 	var stop atomic.Bool
 	var nextIdx atomic.Int64
 	var joins, entries atomic.Int64
+	var twoPtrJoins, cumJoins, bitapJoins, cumFalls atomic.Int64
 	work := func(w int) {
 		arena := &r.arenas[2*w+parity]
-		sc := &r.cumScr[w]
+		sc := &r.joinScr[w]
 		curLo, curW := int32(-1), int32(-1)
 		var nJoins, nEntries int64
+		var nTwoPtr, nCum, nBitap, nFalls int64
 		defer func() {
 			joins.Add(nJoins)
 			entries.Add(nEntries)
+			twoPtrJoins.Add(nTwoPtr)
+			cumJoins.Add(nCum)
+			bitapJoins.Add(nBitap)
+			cumFalls.Add(nFalls)
 		}()
 		for {
 			if stop.Load() {
@@ -565,20 +668,30 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 				g := groups[gi]
 				spanLo, width := cands[g.start].suffix, g.end-g.start
 				if spanLo != curLo || width != curW {
-					// New suffix run: decide per list whether a
-					// cumulative table pays off, and build the ones
-					// that do. Runs repeat across consecutive groups
-					// (gen's suffix-key order), so this amortizes.
+					// New suffix run: pick a strategy per list and
+					// build the tables the choices need. Runs repeat
+					// across consecutive groups (gen's suffix-key
+					// order), so this amortizes.
 					curLo, curW = spanLo, width
 					for int32(len(sc.tables)) < width {
 						sc.tables = append(sc.tables, pil.CumTable{})
-						sc.use = append(sc.use, false)
+						sc.bits = append(sc.bits, pil.BitTable{})
+						sc.strat = append(sc.strat, core.JoinAuto)
+						sc.capped = append(sc.capped, false)
 					}
 					for j := int32(0); j < width; j++ {
 						s := hat[spanLo+j].list
-						sc.use[j] = cumWorthwhile(s, g.uses)
-						if sc.use[j] {
+						sc.strat[j], sc.capped[j] = joinChoice(forced, s, g.uses, winW)
+						switch sc.strat[j] {
+						case core.JoinCum:
 							sc.tables[j].Build(s)
+						case core.JoinBitap:
+							if seedBits {
+								bm := r.s.SymbolBitmaps()[hat[spanLo+j].code]
+								sc.bits[j].BuildBits(bm, 0, r.s.Len()-1, winW)
+							} else {
+								sc.bits[j].Build(s, winW)
+							}
 						}
 					}
 				}
@@ -587,10 +700,20 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 					suffix := hat[cands[idx].suffix].list
 					var list pil.List
 					var sup int64
-					if j := idx - g.start; sc.use[j] {
+					j := idx - g.start
+					switch sc.strat[j] {
+					case core.JoinCum:
 						list, sup = pil.JoinCum(arena, prefix, &sc.tables[j], gap)
-					} else {
+						nCum++
+					case core.JoinBitap:
+						list, sup = pil.JoinBitmap(arena, prefix, &sc.bits[j], gap)
+						nBitap++
+					default:
 						list, sup = pil.JoinInto(arena, prefix, suffix, gap)
+						nTwoPtr++
+					}
+					if sc.capped[j] {
+						nFalls++
 					}
 					joined[idx] = countedList{list: list, sup: sup}
 					nJoins++
@@ -615,6 +738,10 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 	}
 	st.joins += joins.Load()
 	st.entries += entries.Load()
+	st.twoPtr += twoPtrJoins.Load()
+	st.cum += cumJoins.Load()
+	st.bitap += bitapJoins.Load()
+	st.cumFalls += cumFalls.Load()
 	if err := ctx.Err(); err != nil {
 		r.err = r.cancelled(level, err)
 		return nil

@@ -42,11 +42,25 @@ func TestLevelMetricsAccounting(t *testing.T) {
 			if lv.PILJoins != 0 || lv.PILEntries != 0 {
 				t.Errorf("seed level reports %d joins / %d entries, want 0", lv.PILJoins, lv.PILEntries)
 			}
+			if lv.JoinTwoPointer != 0 || lv.JoinCum != 0 || lv.JoinBitap != 0 || lv.CumSpanFallbacks != 0 {
+				t.Errorf("seed level reports strategy counters %d/%d/%d (falls %d), want 0",
+					lv.JoinTwoPointer, lv.JoinCum, lv.JoinBitap, lv.CumSpanFallbacks)
+			}
 			continue
 		}
 		// Every generated candidate costs exactly one merge join.
 		if lv.PILJoins != lv.Candidates {
 			t.Errorf("level %d: %d joins for %d candidates", lv.Level, lv.PILJoins, lv.Candidates)
+		}
+		// The per-strategy split partitions the joins exactly, and the
+		// span-capped fallbacks are a subset of the two-pointer share.
+		if got := lv.JoinTwoPointer + lv.JoinCum + lv.JoinBitap; got != lv.PILJoins {
+			t.Errorf("level %d: strategy split %d+%d+%d = %d, want PILJoins %d",
+				lv.Level, lv.JoinTwoPointer, lv.JoinCum, lv.JoinBitap, got, lv.PILJoins)
+		}
+		if lv.CumSpanFallbacks > lv.JoinTwoPointer {
+			t.Errorf("level %d: %d cum-span fallbacks exceed %d two-pointer joins",
+				lv.Level, lv.CumSpanFallbacks, lv.JoinTwoPointer)
 		}
 		if lv.Candidates > 0 && lv.PILEntries == 0 {
 			t.Errorf("level %d: candidates counted but no PIL entries scanned", lv.Level)
@@ -83,6 +97,12 @@ func TestLevelMetricsParallelMatchesSerial(t *testing.T) {
 		if a.PILJoins != b.PILJoins || a.PILEntries != b.PILEntries ||
 			a.PrunedByLambda != b.PrunedByLambda || a.ZeroSupport != b.ZeroSupport {
 			t.Errorf("level %d counters differ between 1 and 4 workers: %+v vs %+v", a.Level, a, b)
+		}
+		// Strategy selection is per candidate list, not per worker, so the
+		// split (and the span-cap fallback count) must match too.
+		if a.JoinTwoPointer != b.JoinTwoPointer || a.JoinCum != b.JoinCum ||
+			a.JoinBitap != b.JoinBitap || a.CumSpanFallbacks != b.CumSpanFallbacks {
+			t.Errorf("level %d strategy counters differ between 1 and 4 workers: %+v vs %+v", a.Level, a, b)
 		}
 	}
 }

@@ -1,0 +1,290 @@
+package pil
+
+import (
+	"math/bits"
+
+	"permine/internal/combinat"
+)
+
+// MaxBitapWindow is the widest gap window W = M−N+1 for which the miner
+// considers the bitmap strategy profitable: at 64 the whole window spans
+// at most two words, so every prefix entry is answered by one or two
+// masked popcounts per plane. JoinBitmap itself is exact for any width;
+// the constant is a selection cap, not a correctness bound.
+const MaxBitapWindow = 64
+
+// BitTable is a bit-parallel lookup over one PIL, the third join strategy
+// beside the two-pointer merge (JoinInto) and the cumulative table
+// (JoinCum). Three bitmaps are laid over the list's X span, one bit per
+// position p = X−base:
+//
+//   - occ: bit p set iff the list has an entry at X = base+p.
+//   - dil: occ dilated by the gap window width W — bit p set iff any occ
+//     bit lies in [p, p+W−1]. One load and one mask decide whether a
+//     prefix entry's window is empty, which is the common case on sparse
+//     lists; dilation is built by log-doubling shift-and-OR, so one word
+//     operation advances 64 positions at a time.
+//   - planes: Y bit-planes — planes[j] bit p = (Y>>j)&1 for the entry at
+//     base+p. A window's summed count is recovered exactly as
+//     Σ_j popcount(planes[j] ∩ window) << j. When every Y is 1 (true for
+//     all level-1 lists) a single plane aliases occ and the sum collapses
+//     to one popcount.
+//
+// Like CumTable the structure costs O(span) build time and span/8 bytes
+// per bitmap — about 64× denser than the table's int64 per position, which
+// is what lets the miner use it on spans where the cumulative table's
+// memory cap forces a fallback. Callers gate on profitability (see
+// internal/mine); Build itself does not.
+type BitTable struct {
+	base    int // X of the first entry
+	last    int // X of the last entry
+	width   int // gap window width W = M−N+1 the dilation was built for
+	nplanes int
+
+	occ    []uint64
+	dil    []uint64
+	planes [][]uint64
+
+	// Owned backing arrays, retained across builds. occ may alias either
+	// occBuf (Build) or a caller-shared bitmap (BuildBits), so the shared
+	// case keeps its own dilation buffer and never writes through occ.
+	occBuf   []uint64
+	dilBuf   []uint64
+	planeBuf [][]uint64
+}
+
+// Build fills the table from a non-empty PIL for joins under a gap window
+// of the given width (W = M−N+1 of the Gap later passed to JoinBitmap),
+// reusing the previous backing arrays when large enough.
+func (t *BitTable) Build(s List, width int) {
+	t.base = int(s[0].X)
+	t.last = int(s[len(s)-1].X)
+	t.width = width
+	// One padding word past the span keeps the join's two-word window
+	// extract branchless (pl[loW+1] is always addressable).
+	nw := ((t.last - t.base + 64) >> 6) + 1
+	if cap(t.occBuf) < nw {
+		t.occBuf = make([]uint64, nw)
+	}
+	occ := t.occBuf[:nw]
+	clear(occ)
+	maxY := int64(1)
+	for _, e := range s {
+		p := int(e.X) - t.base
+		occ[p>>6] |= 1 << (uint(p) & 63)
+		if e.Y > maxY {
+			maxY = e.Y
+		}
+	}
+	t.occ = occ
+	t.nplanes = bits.Len64(uint64(maxY))
+	if t.nplanes == 1 {
+		t.planes = append(t.planes[:0], occ)
+	} else {
+		t.buildPlanes(s, nw)
+	}
+	if cap(t.dilBuf) < nw {
+		t.dilBuf = make([]uint64, nw)
+	}
+	t.dil = t.dilBuf[:nw]
+	dilate(t.dil, occ, width)
+}
+
+// buildPlanes scatters the Y bit-planes for lists with counts above 1.
+func (t *BitTable) buildPlanes(s List, nw int) {
+	for len(t.planeBuf) < t.nplanes {
+		t.planeBuf = append(t.planeBuf, nil)
+	}
+	t.planes = t.planes[:0]
+	for j := 0; j < t.nplanes; j++ {
+		if cap(t.planeBuf[j]) < nw {
+			t.planeBuf[j] = make([]uint64, nw)
+		}
+		pl := t.planeBuf[j][:nw]
+		clear(pl)
+		t.planeBuf[j] = pl
+		t.planes = append(t.planes, pl)
+	}
+	for _, e := range s {
+		p := int(e.X) - t.base
+		w, b := p>>6, uint64(1)<<(uint(p)&63)
+		y := uint64(e.Y)
+		for j := 0; y != 0; j++ {
+			if y&1 != 0 {
+				t.planes[j][w] |= b
+			}
+			y >>= 1
+		}
+	}
+}
+
+// BuildBits fills the table from a ready-made occurrence bitmap covering
+// positions [base, last] (bit p of occ = position base+p), with every
+// count implicitly 1. occ must extend one word past the last position's
+// word (len(occ) > (last−base)>>6 + 1), the padding the join's branchless
+// window extract reads; seq.SymbolBitmaps allocates it. The bitmap is
+// borrowed read-only — the table writes only its own dilation buffer — so
+// one shared per-symbol bitmap can seed the tables of many workers
+// concurrently.
+func (t *BitTable) BuildBits(occ []uint64, base, last, width int) {
+	t.base, t.last, t.width = base, last, width
+	nw := ((last - base + 64) >> 6) + 1
+	t.occ = occ[:nw]
+	t.nplanes = 1
+	t.planes = append(t.planes[:0], t.occ)
+	if cap(t.dilBuf) < nw {
+		t.dilBuf = make([]uint64, nw)
+	}
+	t.dil = t.dilBuf[:nw]
+	dilate(t.dil, t.occ, width)
+}
+
+// JoinBitmap computes the same join as JoinInto(a, prefix, suffix, g)
+// with t built over suffix: identical entries, identical support. t must
+// have been built with width g.M−g.N+1 — the dilated reject mask is only
+// a sound emptiness test for that window. Window bounds are computed in
+// int for the same overflow reason as JoinInto.
+func JoinBitmap(a *Arena, prefix List, t *BitTable, g combinat.Gap) (List, int64) {
+	if len(prefix) == 0 || len(t.occ) == 0 {
+		return nil, 0
+	}
+	var out List
+	if a != nil {
+		out = a.Reserve(len(prefix))
+	} else {
+		out = make(List, 0, len(prefix))
+	}
+	// Entries are stored unconditionally and the length advanced only for
+	// non-empty windows: the store always lands in reserved capacity, and
+	// skipping the emit branch avoids a mispredict per empty window.
+	out = out[:len(prefix)]
+	n := 0
+	base, last := t.base, t.last
+	span := last - base + 1
+	dil := t.dil
+	planes := t.planes
+	p0 := planes[0]
+	single := t.nplanes == 1
+	n1, m1 := g.N+1, g.M+1
+	var sup int64
+	for _, e := range prefix {
+		minX := int(e.X) + n1
+		if minX > last {
+			break // prefix X ascending: every later window starts past the list
+		}
+		maxX := int(e.X) + m1
+		if maxX < base {
+			continue
+		}
+		lo := minX - base
+		if lo < 0 {
+			lo = 0
+		}
+		hi := maxX - base
+		if hi >= span {
+			hi = span - 1
+		}
+		// For W ≤ MaxBitapWindow (every auto-selected table) the window
+		// spans at most two words — and for small W it is almost always
+		// within one — so the masks are computed once and each plane is
+		// answered by one or two inline popcounts. The dilated reject mask
+		// is consulted only on the wide-window path, where it
+		// short-circuits a multi-word scan; on the narrow paths probing it
+		// would cost as much as popcounting the window.
+		loW, hiW := lo>>6, hi>>6
+		loMask := ^uint64(0) << (uint(lo) & 63)
+		hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+		var y int64
+		switch {
+		case loW == hiW:
+			m := loMask & hiMask
+			if single {
+				y = int64(bits.OnesCount64(p0[loW] & m))
+			} else {
+				for j, pl := range planes {
+					y += int64(bits.OnesCount64(pl[loW]&m)) << uint(j)
+				}
+			}
+		case hiW == loW+1:
+			if single {
+				y = int64(bits.OnesCount64(p0[loW]&loMask) + bits.OnesCount64(p0[hiW]&hiMask))
+			} else {
+				for j, pl := range planes {
+					y += int64(bits.OnesCount64(pl[loW]&loMask)+bits.OnesCount64(pl[hiW]&hiMask)) << uint(j)
+				}
+			}
+		default:
+			if dil[lo>>6]&(1<<(uint(lo)&63)) == 0 {
+				continue // no occurrence within [lo, lo+W−1]
+			}
+			for j, pl := range planes {
+				y += popcountRange(pl, lo, hi) << uint(j)
+			}
+		}
+		out[n] = Entry{X: e.X, Y: y}
+		if y > 0 {
+			n++
+		}
+		sup += y
+	}
+	out = out[:n]
+	if a != nil {
+		a.Commit(n)
+	}
+	return out, sup
+}
+
+// popcountRange counts the set bits of w in bit positions [lo, hi]
+// (inclusive). For windows up to MaxBitapWindow the range touches at most
+// two words.
+func popcountRange(w []uint64, lo, hi int) int64 {
+	loW, hiW := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+	if loW == hiW {
+		return int64(bits.OnesCount64(w[loW] & loMask & hiMask))
+	}
+	c := bits.OnesCount64(w[loW]&loMask) + bits.OnesCount64(w[hiW]&hiMask)
+	for i := loW + 1; i < hiW; i++ {
+		c += bits.OnesCount64(w[i])
+	}
+	return int64(c)
+}
+
+// dilate fills dst (same word length as occ) with occ dilated by width:
+// dst bit p = OR of occ bits [p, p+width−1]. Log-doubling: after a pass
+// with shift s the covered run grows from c to c+s, so width W needs
+// ⌈log2 W⌉ passes instead of W−1.
+func dilate(dst, occ []uint64, width int) {
+	copy(dst, occ)
+	for covered := 1; covered < width; {
+		s := covered
+		if rest := width - covered; s > rest {
+			s = rest
+		}
+		orShiftDown(dst, uint(s))
+		covered += s
+	}
+}
+
+// orShiftDown ORs w with itself shifted down by s bit positions:
+// bit p |= bit p+s. In-place is safe walking ascending indices — every
+// source word is at index ≥ the one being written, and a word is read
+// before it is modified.
+func orShiftDown(w []uint64, s uint) {
+	wo, bo := int(s>>6), s&63
+	n := len(w)
+	if bo == 0 {
+		for i := 0; i+wo < n; i++ {
+			w[i] |= w[i+wo]
+		}
+		return
+	}
+	for i := 0; i+wo < n; i++ {
+		v := w[i+wo] >> bo
+		if i+wo+1 < n {
+			v |= w[i+wo+1] << (64 - bo)
+		}
+		w[i] |= v
+	}
+}

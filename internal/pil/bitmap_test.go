@@ -1,0 +1,123 @@
+package pil_test
+
+import (
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/pil"
+)
+
+// TestJoinBitmapMatchesJoinInto cross-checks the bit-parallel join
+// against the two-pointer join over dense and sparse lists, single- and
+// multi-plane counts, and windows on both sides of MaxBitapWindow,
+// heap- and arena-backed. The table is reused across cases to cover the
+// backing-buffer recycling.
+func TestJoinBitmapMatchesJoinInto(t *testing.T) {
+	rng := uint64(0x9E3779B97F4A7C15)
+	var arena pil.Arena
+	var tab pil.BitTable
+	cases := []struct {
+		n, stride, maxY int
+		g               combinat.Gap
+	}{
+		{200, 2, 1, combinat.Gap{N: 0, M: 0}},   // W=1, single plane
+		{200, 2, 6, combinat.Gap{N: 1, M: 4}},   // 3 planes
+		{500, 3, 6, combinat.Gap{N: 9, M: 12}},  // the benchmark regime
+		{500, 3, 1, combinat.Gap{N: 9, M: 10}},  // small-W, single plane
+		{50, 40, 6, combinat.Gap{N: 3, M: 30}},  // sparse: long X gaps
+		{1, 1, 6, combinat.Gap{N: 0, M: 5}},     // single entry
+		{300, 5, 6, combinat.Gap{N: 0, M: 63}},  // exactly MaxBitapWindow
+		{300, 5, 6, combinat.Gap{N: 0, M: 64}},  // one past it: 65 positions
+		{300, 5, 6, combinat.Gap{N: 100, M: 400}}, // W far beyond one word
+		{64, 1, 255, combinat.Gap{N: 2, M: 9}},  // 8 planes, dense
+	}
+	for ci, tc := range cases {
+		for rep := 0; rep < 4; rep++ {
+			prefix := randList(&rng, tc.n, tc.stride, tc.maxY)
+			suffix := randList(&rng, tc.n, tc.stride, tc.maxY)
+			want, wantSup := pil.JoinInto(nil, prefix, suffix, tc.g)
+			tab.Build(suffix, tc.g.M-tc.g.N+1)
+			got, sup := pil.JoinBitmap(nil, prefix, &tab, tc.g)
+			if sup != wantSup || len(got) != len(want) {
+				t.Fatalf("case %d rep %d: bitmap join sup=%d len=%d, want sup=%d len=%d",
+					ci, rep, sup, len(got), wantSup, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %d rep %d entry %d: %v, want %v", ci, rep, i, got[i], want[i])
+				}
+			}
+			arena.Reset()
+			gotA, supA := pil.JoinBitmap(&arena, prefix, &tab, tc.g)
+			if supA != wantSup || len(gotA) != len(want) {
+				t.Fatalf("case %d rep %d: arena bitmap join sup=%d len=%d, want sup=%d len=%d",
+					ci, rep, supA, len(gotA), wantSup, len(want))
+			}
+		}
+	}
+}
+
+// TestJoinBitmapWindowPastList exercises the early-exit edges: windows
+// that end before the suffix list starts and windows that begin past its
+// end, plus the dilated-mask reject on an in-span empty window.
+func TestJoinBitmapWindowPastList(t *testing.T) {
+	suffix := pil.List{{X: 100, Y: 2}, {X: 101, Y: 3}, {X: 140, Y: 1}}
+	g := combinat.Gap{N: 0, M: 1}
+	var tab pil.BitTable
+	tab.Build(suffix, g.M-g.N+1)
+	prefix := pil.List{{X: 0, Y: 1}, {X: 99, Y: 1}, {X: 100, Y: 1}, {X: 120, Y: 9}, {X: 500, Y: 1}}
+	got, sup := pil.JoinBitmap(nil, prefix, &tab, g)
+	want, wantSup := pil.JoinInto(nil, prefix, suffix, g)
+	if sup != wantSup || len(got) != len(want) {
+		t.Fatalf("bitmap join sup=%d len=%d, want sup=%d len=%d", sup, len(got), wantSup, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBuildBitsMatchesBuild feeds BuildBits a hand-scattered occurrence
+// bitmap covering [0, last] and checks joins through it agree with a
+// table Built from the equivalent all-ones list — the contract the miner
+// relies on when seeding level-1 tables from seq.SymbolBitmaps.
+func TestBuildBitsMatchesBuild(t *testing.T) {
+	rng := uint64(0xD1B54A32D192ED03)
+	for _, g := range []combinat.Gap{{N: 0, M: 0}, {N: 1, M: 4}, {N: 9, M: 10}, {N: 9, M: 12}} {
+		suffix := randList(&rng, 300, 4, 1) // Y ≡ 1, like a level-1 PIL
+		last := int(suffix[len(suffix)-1].X)
+		occ := make([]uint64, ((last+64)>>6)+1) // +1: BuildBits padding word
+		for _, e := range suffix {
+			occ[e.X>>6] |= 1 << (uint(e.X) & 63)
+		}
+		width := g.M - g.N + 1
+		var shared, owned pil.BitTable
+		shared.BuildBits(occ, 0, last, width)
+		owned.Build(suffix, width)
+		prefix := randList(&rng, 300, 4, 3)
+		want, wantSup := pil.JoinBitmap(nil, prefix, &owned, g)
+		got, sup := pil.JoinBitmap(nil, prefix, &shared, g)
+		if sup != wantSup || len(got) != len(want) {
+			t.Fatalf("gap %v: shared-bitmap join sup=%d len=%d, want sup=%d len=%d",
+				g, sup, len(got), wantSup, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("gap %v entry %d: %v, want %v", g, i, got[i], want[i])
+			}
+		}
+		// BuildBits borrows occ read-only; the words must be untouched.
+		for i, w := range occ {
+			var rebuilt uint64
+			for _, e := range suffix {
+				if int(e.X)>>6 == i {
+					rebuilt |= 1 << (uint(e.X) & 63)
+				}
+			}
+			if w != rebuilt {
+				t.Fatalf("gap %v: BuildBits modified shared word %d", g, i)
+			}
+		}
+	}
+}

@@ -15,8 +15,9 @@ import (
 // support threshold and the query fields. Two jobs sharing an identity
 // mine the same search space — only the ρs floor and the top-K/motif
 // view of it differ — which is what makes cross-threshold subsumption
-// possible. Workers is deliberately excluded (parallelism does not
-// change results), as are the context and progress callback.
+// possible. Workers and Join are deliberately excluded (parallelism and
+// the PIL join strategy do not change results), as are the context and
+// progress callback.
 type CacheIdentity struct {
 	// SeqHash is sha256 over the alphabet name, a NUL separator, and the
 	// raw sequence characters. Two sequences with identical content but

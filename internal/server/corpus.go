@@ -193,6 +193,9 @@ func (m *Manager) runShard(ctx context.Context, j *corpus.Job, s *corpus.Shard) 
 	}
 	if m.cfg.Metrics != nil {
 		m.cfg.Metrics.ObserveMining(j.Algorithm().String(), time.Since(start))
+		for _, lm := range res.Levels {
+			m.cfg.Metrics.ObserveLevel(lm)
+		}
 	}
 	if m.cfg.Cache != nil {
 		m.cfg.Cache.Put(key, res)
@@ -537,7 +540,11 @@ func (s *Server) handleCorpusSubmit(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	params := req.Params.toParams()
+	params, err := req.Params.toParams()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "invalid params: %v", err)
+		return
+	}
 	if _, err := params.Normalize(); err != nil {
 		apiError(w, http.StatusBadRequest, "invalid params: %v", err)
 		return

@@ -602,6 +602,9 @@ func (m *Manager) runJob(j *Job) {
 	p.Ctx = runCtx
 	p.Progress = func(lm core.LevelMetrics) {
 		seq := j.addLevel(lm)
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.ObserveLevel(lm)
+		}
 		if m.cfg.Events != nil {
 			m.cfg.Events.Publish(Event{Type: "level", Job: j.id, Seq: seq, Data: lm})
 		}

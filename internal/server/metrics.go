@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"permine/internal/cluster"
+	"permine/internal/core"
 	"permine/internal/corpus"
 	"permine/internal/server/store"
 )
@@ -90,6 +91,7 @@ type Metrics struct {
 	finished  map[string]int64 // cumulative terminal transitions
 	requests  map[string]int64 // "route status-class", e.g. "POST /v1/jobs 2xx"
 	recovery  map[string]int64 // boot-time crash-recovery outcomes
+	joins     map[string]int64 // PIL joins executed, by strategy name
 	latency   map[string]*Histogram
 	reqDur    map[string]*Histogram // per-route request duration (non-streaming)
 	queueFn   func() int
@@ -125,6 +127,7 @@ func NewMetrics(queueFn func() int) *Metrics {
 		finished:       make(map[string]int64),
 		requests:       make(map[string]int64),
 		recovery:       make(map[string]int64),
+		joins:          make(map[string]int64),
 		latency:        make(map[string]*Histogram),
 		reqDur:         make(map[string]*Histogram),
 		corpusStates:   make(map[string]int64),
@@ -202,6 +205,23 @@ func (m *Metrics) CorpusShardsReplayed(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.corpusReplayed += int64(n)
+}
+
+// ObserveLevel accumulates one mining level's per-strategy PIL join
+// counts (see core.LevelMetrics), feeding the
+// permine_join_strategy_total family.
+func (m *Metrics) ObserveLevel(lm core.LevelMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lm.JoinTwoPointer > 0 {
+		m.joins[core.JoinTwoPointer.String()] += lm.JoinTwoPointer
+	}
+	if lm.JoinCum > 0 {
+		m.joins[core.JoinCum.String()] += lm.JoinCum
+	}
+	if lm.JoinBitap > 0 {
+		m.joins[core.JoinBitap.String()] += lm.JoinBitap
+	}
 }
 
 // ObserveMining records one finished mining run's wall-clock latency under
@@ -291,7 +311,10 @@ type MetricsSnapshot struct {
 	Corpus        CorpusMetrics            `json:"corpus"`
 	Recovery      map[string]int64         `json:"recovery,omitempty"`
 	Requests      map[string]int64         `json:"requests_total"`
-	Latency       map[string]HistogramView `json:"mining_latency_seconds"`
+	// JoinStrategies counts PIL joins executed by each join strategy
+	// across all mining runs (keys: "twoptr", "cum", "bitap").
+	JoinStrategies map[string]int64         `json:"join_strategies_total,omitempty"`
+	Latency        map[string]HistogramView `json:"mining_latency_seconds"`
 	// RequestLatency holds per-route request-duration histograms for the
 	// non-streaming routes; SLO is the rolling breach accounting against
 	// the configured p99 target.
@@ -355,6 +378,12 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 		snap.Recovery = make(map[string]int64, len(m.recovery))
 		for k, v := range m.recovery {
 			snap.Recovery[k] = v
+		}
+	}
+	if len(m.joins) > 0 {
+		snap.JoinStrategies = make(map[string]int64, len(m.joins))
+		for k, v := range m.joins {
+			snap.JoinStrategies[k] = v
 		}
 	}
 	if m.queueFn != nil {

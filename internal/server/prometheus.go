@@ -119,6 +119,12 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 			float64(snap.Requests[key]))
 	}
 
+	p.Meta("permine_join_strategy_total", "counter", "PIL joins executed, by join strategy.")
+	for _, strat := range sortedKeys(snap.JoinStrategies) {
+		p.Sample("permine_join_strategy_total",
+			[]obs.Label{{Name: "strategy", Value: strat}}, float64(snap.JoinStrategies[strat]))
+	}
+
 	p.Meta("permine_mining_latency_seconds", "histogram", "Wall-clock latency of finished mining runs, by algorithm.")
 	for _, algo := range sortedKeys(snap.Latency) {
 		writeHistogram(p, "permine_mining_latency_seconds",

@@ -63,7 +63,8 @@ func fixedSnapshot() MetricsSnapshot {
 			"other 4xx":             3,
 			"GET /metrics 2xx":      2,
 		},
-		Latency: map[string]HistogramView{"MPPm": h},
+		JoinStrategies: map[string]int64{"bitap": 40, "cum": 120, "twoptr": 64},
+		Latency:        map[string]HistogramView{"MPPm": h},
 		RequestLatency: map[string]HistogramView{
 			"POST /v1/jobs": fixedRequestHistogram(),
 		},
@@ -174,6 +175,8 @@ func TestPrometheusEndpointInvariants(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE permine_jobs gauge",
 		"# TYPE permine_mining_latency_seconds histogram",
+		"# TYPE permine_join_strategy_total counter",
+		"permine_join_strategy_total{strategy=",
 		`permine_jobs_finished_total{state="done"} 1`,
 		`permine_requests_total{route="POST /v1/jobs",class="2xx"}`,
 		"permine_sse_subscribers 0",

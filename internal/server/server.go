@@ -515,9 +515,16 @@ type paramsJSON struct {
 	// patterns containing the motif.
 	TopK  int    `json:"top_k,omitempty"`
 	Motif string `json:"motif,omitempty"`
+	// Join pins the PIL join strategy ("auto", "twoptr", "cum",
+	// "bitap"); empty means auto. Results are identical for every value.
+	Join string `json:"join,omitempty"`
 }
 
-func (p paramsJSON) toParams() core.Params {
+func (p paramsJSON) toParams() (core.Params, error) {
+	join, err := core.ParseJoinStrategy(p.Join)
+	if err != nil {
+		return core.Params{}, err
+	}
 	return core.Params{
 		Gap:             combinat.Gap{N: p.GapMin, M: p.GapMax},
 		MinSupport:      p.MinSupport,
@@ -528,7 +535,8 @@ func (p paramsJSON) toParams() core.Params {
 		CandidateBudget: p.CandidateBudget,
 		TopK:            p.TopK,
 		Motif:           p.Motif,
-	}
+		Join:            join,
+	}, nil
 }
 
 // seqJSON is an inline sequence: data over a named alphabet ("dna",
@@ -655,6 +663,7 @@ func jobRequestFromQuery(r *http.Request, fasta string) (jobRequest, error) {
 	geti("workers", &req.Params.Workers)
 	geti("top_k", &req.Params.TopK)
 	req.Params.Motif = q.Get("motif")
+	req.Params.Join = q.Get("join")
 	if q.Has("min_support") {
 		if req.Params.MinSupport, err = strconv.ParseFloat(q.Get("min_support"), 64); err != nil {
 			return req, fmt.Errorf("query parameter min_support: %w", err)
@@ -704,7 +713,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	params := req.Params.toParams()
+	params, err := req.Params.toParams()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "invalid params: %v", err)
+		return
+	}
 	if _, err := params.Normalize(); err != nil {
 		apiError(w, http.StatusBadRequest, "invalid params: %v", err)
 		return

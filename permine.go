@@ -90,6 +90,22 @@ type CancelledError = core.CancelledError
 // "enumerate") to its Algorithm value.
 func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
 
+// JoinStrategy selects how PIL joins count candidate supports; see
+// Params.Join. Every strategy computes identical results.
+type JoinStrategy = core.JoinStrategy
+
+// JoinStrategy values.
+const (
+	JoinAuto       = core.JoinAuto
+	JoinTwoPointer = core.JoinTwoPointer
+	JoinCum        = core.JoinCum
+	JoinBitap      = core.JoinBitap
+)
+
+// ParseJoinStrategy maps a join strategy name ("auto", "twoptr", "cum",
+// "bitap") to its JoinStrategy value.
+func ParseJoinStrategy(name string) (JoinStrategy, error) { return core.ParseJoinStrategy(name) }
+
 // Alphabet is a finite ordered symbol set.
 type Alphabet = seq.Alphabet
 
