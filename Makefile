@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check slo-check fuzz-short experiments verify examples clean
+.PHONY: all build test test-short vet race check cover bench bench-baseline bench-check slo-check overload-check fuzz-short experiments verify examples clean
 
 all: build test
 
@@ -47,6 +47,9 @@ bench-check:
 # (default 250). Includes a negative control proving the gate can fail.
 slo-check:
 	sh scripts/slo-check.sh
+
+overload-check:
+	sh scripts/overload-check.sh
 
 # Short fuzz pass over the PIL list invariants (Join window semantics,
 # Merge support conservation, arena/heap join equivalence) and the cluster

@@ -75,7 +75,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
 		workers      = fs.Int("workers", 2, "concurrent mining workers")
-		queueDepth   = fs.Int("queue", 64, "job queue depth (submits beyond it are rejected with 503)")
+		queueDepth   = fs.Int("queue", 64, "job queue depth (submits beyond it are rejected with 429 + Retry-After)")
 		cacheSize    = fs.Int("cache", 128, "result cache size in entries (negative disables)")
 		cacheSubsume = fs.Bool("cache-subsumption", true, "serve jobs by filtering cached results mined at other thresholds")
 		retain       = fs.Int("retain", 1024, "finished jobs kept queryable")
@@ -83,6 +83,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeouts (0 = job-timeout)")
 		syncLen      = fs.Int("max-sync-len", 1<<20, "longest sequence /v1/query accepts synchronously")
 		maxBody      = fs.Int64("max-body-bytes", 64<<20, "request body size limit in bytes (oversized bodies get 413)")
+		memBudget    = fs.Int64("mem-budget", 0, "default per-job mining memory budget in bytes (0 = unlimited); over-budget jobs end resource_exhausted with partial results")
+		memGlobal    = fs.Int64("mem-global", 0, "process-wide mining memory ceiling in bytes (0 = unlimited); nearing it browns out expensive job classes")
+		brownoutPct  = fs.Int("brownout-pct", 85, "percent of -mem-global at which brownout shedding starts")
 		dataDir      = fs.String("data-dir", "", "journal jobs here and recover them on restart (empty = in-memory only)")
 		compactBytes = fs.Int64("compact-bytes", 4<<20, "journal size triggering snapshot compaction")
 		retryBudget  = fs.Int("retry-budget", 3, "re-executions allowed for a job interrupted by crashes")
@@ -138,6 +141,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxTimeout:          *maxTimeout,
 		MaxSyncSeqLen:       *syncLen,
 		MaxBodyBytes:        *maxBody,
+		MemBudget:           *memBudget,
+		MemGlobal:           *memGlobal,
+		BrownoutPct:         *brownoutPct,
 		DataDir:             *dataDir,
 		CompactBytes:        *compactBytes,
 		RetryBudget:         *retryBudget,

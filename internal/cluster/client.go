@@ -21,8 +21,9 @@ const (
 
 // RPC errors.
 var (
-	// ErrPeerBusy means the peer answered 503: its queue is full or it is
-	// draining. The caller should retry elsewhere, not count it as death.
+	// ErrPeerBusy means the peer answered 429 (queue full or memory
+	// governor shedding) or 503 (draining). The caller should retry
+	// elsewhere, not count it as death.
 	ErrPeerBusy = errors.New("cluster: peer busy")
 	// ErrPeerDead short-circuits an RPC to a peer already declared dead.
 	ErrPeerDead = errors.New("cluster: peer is dead")
@@ -192,7 +193,7 @@ func (c *Cluster) call(ctx context.Context, addr, path string, msg Message, trac
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 	}()
-	if resp.StatusCode == http.StatusServiceUnavailable {
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 		return Message{}, ErrPeerBusy
 	}
 	if resp.StatusCode != http.StatusOK {

@@ -83,6 +83,9 @@ type Config struct {
 	// SelfLoad reports this node's own queue depth for work-stealing
 	// comparisons; nil means 0.
 	SelfLoad func() int
+	// SelfPressure reports this node's own memory-governor pressure for
+	// the same comparisons; nil means 0.
+	SelfPressure func() float64
 	// Logger for state transitions; nil discards.
 	Logger *slog.Logger
 	// OnStateChange, if set, observes every peer state transition.
@@ -125,15 +128,16 @@ func (c Config) withDefaults() Config {
 // RPC against a dead incarnation aborts while a fresh incarnation starts
 // clean.
 type peer struct {
-	addr       string
-	state      NodeState
-	fails      int
-	node       string // boot-unique id from the last pong
-	queueDepth int
-	ready      bool
-	outstand   int // in-flight mining RPCs we have issued to it
-	ctx        context.Context
-	cancel     context.CancelFunc
+	addr        string
+	state       NodeState
+	fails       int
+	node        string // boot-unique id from the last pong
+	queueDepth  int
+	memPressure float64 // governor pressure from the last pong
+	ready       bool
+	outstand    int // in-flight mining RPCs we have issued to it
+	ctx         context.Context
+	cancel      context.CancelFunc
 }
 
 // Cluster is the coordinator-side fleet view: membership, health, the
@@ -297,6 +301,7 @@ func (c *Cluster) noteSuccess(addr string, pong Pong) {
 	p.fails = 0
 	p.state = StateAlive
 	p.queueDepth = pong.QueueDepth
+	p.memPressure = pong.MemPressure
 	p.ready = pong.Ready
 	if from == StateDead {
 		// Rejoin: the dead incarnation's context stays cancelled; the new
@@ -429,19 +434,38 @@ func (c *Cluster) membersLocked() []string {
 	return members
 }
 
-// loadLocked estimates a member's load: our outstanding RPCs against it
-// plus the queue depth it last reported (self: the SelfLoad callback).
+// loadLocked estimates a member's load: our outstanding RPCs against it,
+// plus the queue depth it last reported (self: the SelfLoad callback),
+// plus a penalty for reported memory pressure — a memory-hot node looks
+// several queued jobs busier, so placement drifts to cool nodes before
+// the hot one starts shedding with 429s.
 func (c *Cluster) loadLocked(addr string) int {
 	if addr == c.cfg.Self {
+		var load int
 		if c.cfg.SelfLoad != nil {
-			return c.cfg.SelfLoad()
+			load = c.cfg.SelfLoad()
 		}
-		return 0
+		if c.cfg.SelfPressure != nil {
+			load += pressurePenalty(c.cfg.SelfPressure())
+		}
+		return load
 	}
 	if p, ok := c.peers[addr]; ok {
-		return p.outstand + p.queueDepth
+		return p.outstand + p.queueDepth + pressurePenalty(p.memPressure)
 	}
 	return 0
+}
+
+// pressurePenalty converts governor pressure in [0,1+] into load units:
+// linear up to 8 extra units at a full ceiling, saturating beyond it.
+func pressurePenalty(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return int(p*8 + 0.5)
 }
 
 // peerContext returns the peer's current-incarnation context (cancelled

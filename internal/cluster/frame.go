@@ -177,8 +177,9 @@ type Ping struct {
 	At   time.Time `json:"at"`
 }
 
-// Pong is the heartbeat response body. QueueDepth feeds the coordinator's
-// work-stealing placement; Ready mirrors the peer's /readyz state.
+// Pong is the heartbeat response body. QueueDepth and MemPressure feed the
+// coordinator's work-stealing placement; Ready mirrors the peer's /readyz
+// state.
 type Pong struct {
 	// Node is the responder's boot-unique node id (a restarted peer gets a
 	// fresh one).
@@ -186,6 +187,10 @@ type Pong struct {
 	Version    string `json:"version,omitempty"`
 	Ready      bool   `json:"ready"`
 	QueueDepth int    `json:"queue_depth"`
+	// MemPressure is the responder's memory-governor pressure (used/limit,
+	// 0 when the peer runs without a global ceiling). Placement penalises
+	// hot nodes so new work avoids peers already near their ceiling.
+	MemPressure float64 `json:"mem_pressure,omitempty"`
 }
 
 // MineRequest asks a peer to mine one sequence. The sequence travels in

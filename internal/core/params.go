@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"permine/internal/combinat"
+	"permine/internal/pil"
 )
 
 // Algorithm selects a mining strategy.
@@ -165,6 +166,21 @@ type Params struct {
 	// whose pruning keeps candidate sets small.
 	CandidateBudget int64
 
+	// MemoryBudget caps the bytes of PIL memory (arena slabs, cumulative
+	// tables, bitmap planes) one mining run may retain before it aborts
+	// with a *ResourceExhaustedError carrying the completed levels as a
+	// partial result. Zero means unlimited (memory is still tracked, just
+	// not enforced); the budget is checked between levels and between
+	// candidate batches, so a run may transiently overshoot by at most one
+	// batch of slab growth.
+	MemoryBudget int64
+
+	// Mem optionally receives the run's byte charges. The permined server
+	// installs a per-job tracker chained to a process-global governor so
+	// every worker's slab growth feeds one shared high-water mark; nil
+	// makes the miner account privately (the budget is still enforced).
+	Mem *pil.MemTracker `json:"-"`
+
 	// TopK, when positive, asks for the K best frequent patterns by
 	// support ratio instead of all of them. Plain miners in internal/mine
 	// ignore it; route top-K runs through internal/query (or the permine
@@ -304,6 +320,36 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // the candidate budget would be exceeded.
 var ErrBudgetExceeded = fmt.Errorf("core: candidate budget exceeded")
 
+// ErrMemoryExceeded is the sentinel every *ResourceExhaustedError unwraps
+// to, so callers can test the class with errors.Is without naming the
+// typed error.
+var ErrMemoryExceeded = fmt.Errorf("core: memory budget exceeded")
+
+// ResourceExhaustedError reports a mining run aborted by its memory
+// budget. The run's completed levels are returned alongside it as a
+// partial Result (Truncated = true), mirroring the candidate-budget
+// behaviour of the enumeration baseline.
+type ResourceExhaustedError struct {
+	// Algorithm that was running.
+	Algorithm Algorithm
+	// Level is the pattern length being (or about to be) counted when the
+	// budget check fired; that level's partial counts are discarded.
+	Level int
+	// Budget is the configured MemoryBudget in bytes.
+	Budget int64
+	// Used is the bytes charged when the guard fired.
+	Used int64
+}
+
+// Error implements error.
+func (e *ResourceExhaustedError) Error() string {
+	return fmt.Sprintf("core: %s exhausted its memory budget at level %d (%d of %d bytes)",
+		e.Algorithm, e.Level, e.Used, e.Budget)
+}
+
+// Unwrap exposes ErrMemoryExceeded to errors.Is.
+func (e *ResourceExhaustedError) Unwrap() error { return ErrMemoryExceeded }
+
 // Defaults for Params fields.
 const (
 	DefaultStartLen        = 3
@@ -345,6 +391,9 @@ func (p Params) Normalize() (Params, error) {
 	}
 	if p.CandidateBudget < 0 {
 		return p, fmt.Errorf("core: CandidateBudget %d must be >= 0", p.CandidateBudget)
+	}
+	if p.MemoryBudget < 0 {
+		return p, fmt.Errorf("core: MemoryBudget %d must be >= 0", p.MemoryBudget)
 	}
 	if p.TopK < 0 {
 		return p, fmt.Errorf("core: TopK %d must be >= 0", p.TopK)

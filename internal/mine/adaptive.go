@@ -53,6 +53,16 @@ func Adaptive(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		rp.MaxLen = n
 		res, err := MPP(s, rp)
 		if err != nil {
+			if res != nil {
+				// Memory budget abort: the round's completed levels pass
+				// through as this run's partial result.
+				res.Algorithm = core.AlgoAdaptive
+				res.AutoN = true
+				res.Rounds = rounds
+				res.Params = p
+				res.Elapsed = time.Since(start)
+				return res, err
+			}
 			return nil, err
 		}
 		last = res

@@ -1,0 +1,146 @@
+package mine
+
+import (
+	"errors"
+	"testing"
+
+	"permine/internal/combinat"
+	"permine/internal/core"
+	seqgen "permine/internal/gen"
+	"permine/internal/pil"
+)
+
+// budgetParams is a workload big enough that a tight memory budget bites
+// mid-run: a genome-like sequence under a flexible gap, mined from level
+// 3 with several counting levels ahead of it.
+func budgetParams() core.Params {
+	return core.Params{Gap: combinat.Gap{N: 2, M: 6}, MinSupport: 0.0002, Workers: 4}
+}
+
+// TestMemoryBudgetPartialResult: an over-budget MPP run terminates with a
+// typed *core.ResourceExhaustedError and a partial result whose completed
+// levels — metrics and emitted patterns both — are byte-identical to the
+// same levels of an unconstrained run.
+func TestMemoryBudgetPartialResult(t *testing.T) {
+	s, err := seqgen.GenomeLike(20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MPP(s, budgetParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tight := budgetParams()
+	tight.MemoryBudget = 1 << 20
+	part, err := MPP(s, tight)
+	var re *core.ResourceExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("tight-budget MPP error = %v, want *core.ResourceExhaustedError", err)
+	}
+	if !errors.Is(err, core.ErrMemoryExceeded) {
+		t.Errorf("error does not unwrap to ErrMemoryExceeded: %v", err)
+	}
+	if re.Used <= re.Budget {
+		t.Errorf("error reports Used %d <= Budget %d", re.Used, re.Budget)
+	}
+	if part == nil || !part.Truncated {
+		t.Fatalf("partial result = %+v, want non-nil with Truncated", part)
+	}
+	if len(part.Levels) == 0 || len(part.Levels) >= len(full.Levels) {
+		t.Fatalf("partial completed %d of %d levels; the budget did not abort mid-run",
+			len(part.Levels), len(full.Levels))
+	}
+	for i, lm := range part.Levels {
+		want := full.Levels[i]
+		if lm.Level != want.Level || lm.Candidates != want.Candidates ||
+			lm.Frequent != want.Frequent || lm.Kept != want.Kept {
+			t.Errorf("level %d diverged from the unconstrained run:\n got %+v\nwant %+v", i, lm, want)
+		}
+	}
+	maxLen := part.Levels[len(part.Levels)-1].Level
+	var want []core.Pattern
+	for _, p := range full.Patterns {
+		if len(p.Chars) <= maxLen {
+			want = append(want, p)
+		}
+	}
+	if len(part.Patterns) != len(want) {
+		t.Fatalf("partial emitted %d patterns, want the %d full-run patterns of length <= %d",
+			len(part.Patterns), len(want), maxLen)
+	}
+	for i := range want {
+		if part.Patterns[i].Chars != want[i].Chars || part.Patterns[i].Support != want[i].Support {
+			t.Errorf("pattern %d: got %q/%d, want %q/%d", i,
+				part.Patterns[i].Chars, part.Patterns[i].Support, want[i].Chars, want[i].Support)
+		}
+	}
+}
+
+// TestMemoryBudgetMPPmAndAdaptive: the automatic-n and adaptive entry
+// points ship the same partial-result contract.
+func TestMemoryBudgetMPPmAndAdaptive(t *testing.T) {
+	s, err := seqgen.GenomeLike(20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := budgetParams()
+	tight.MemoryBudget = 1 << 20
+
+	res, err := MPPm(s, tight)
+	if !errors.Is(err, core.ErrMemoryExceeded) {
+		t.Fatalf("MPPm error = %v, want ErrMemoryExceeded", err)
+	}
+	if res == nil || !res.Truncated || len(res.Levels) == 0 {
+		t.Fatalf("MPPm partial result = %+v", res)
+	}
+
+	res, err = Adaptive(s, tight)
+	if !errors.Is(err, core.ErrMemoryExceeded) {
+		t.Fatalf("Adaptive error = %v, want ErrMemoryExceeded", err)
+	}
+	if res == nil || !res.Truncated || res.Algorithm != core.AlgoAdaptive || len(res.Rounds) == 0 {
+		t.Fatalf("Adaptive partial result = %+v", res)
+	}
+}
+
+// TestMemoryBudgetEnumerate: the enumeration baseline charges its
+// retained heap lists and aborts between levels with the typed error.
+func TestMemoryBudgetEnumerate(t *testing.T) {
+	s, err := seqgen.GenomeLike(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Gap: combinat.Gap{N: 2, M: 6}, MinSupport: 0.001, MemoryBudget: 1 << 10}
+	res, err := Enumerate(s, p)
+	var re *core.ResourceExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("Enumerate error = %v, want *core.ResourceExhaustedError", err)
+	}
+	if res == nil || !res.Truncated || len(res.Levels) == 0 {
+		t.Fatalf("Enumerate partial result = %+v", res)
+	}
+}
+
+// TestMemoryBudgetSharedTracker: a caller-installed tracker sees the
+// run's charges and propagates them to its parent, and a second run on
+// the same tracker accumulates (the governor's global view).
+func TestMemoryBudgetSharedTracker(t *testing.T) {
+	s, err := seqgen.GenomeLike(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := pil.NewMemTracker(nil)
+	p := budgetParams()
+	p.Mem = pil.NewMemTracker(root)
+	if _, err := MPP(s, p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mem.Used() == 0 {
+		t.Fatal("caller tracker saw no charges from the run")
+	}
+	if root.Used() != p.Mem.Used() || root.High() != p.Mem.High() {
+		t.Fatalf("parent tracker diverged: root %d/%d vs child %d/%d",
+			root.Used(), root.High(), p.Mem.Used(), p.Mem.High())
+	}
+}

@@ -66,6 +66,13 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		return nil, &core.CancelledError{Algorithm: core.AlgoEnumerate, Level: p.StartLen, Err: err}
 	}
 
+	// Enumeration joins on the heap (no arenas), so the memory budget is
+	// charged over the retained per-level lists instead of slab growth.
+	mem := p.Mem
+	if mem == nil {
+		mem = pil.NewMemTracker(nil)
+	}
+
 	i := p.StartLen
 	seedWork := int64(1)
 	for k := 0; k < i; k++ {
@@ -80,11 +87,14 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	}
 	nonzero := make(map[string]pil.List, len(start3))
 	sups := make(map[string]int64, len(start3))
+	var seedBytes int64
 	for _, cl := range start3 {
 		chars := s.Alphabet().DecodePacked(cl.Code, i)
 		nonzero[chars] = cl.List
 		sups[chars] = cl.Sup
+		seedBytes += pil.EntryBytes * int64(len(cl.List))
 	}
+	mem.Charge(seedBytes)
 	r := &runner{s: s, p: p, counter: counter, n: counter.L2(), res: res}
 	recordEnumLevel(r, i, sigmaPow(i), nonzero, sups, levelStats{})
 
@@ -98,6 +108,15 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 		}
 		if work += int64(len(nonzero)) * alphaN; work > p.CandidateBudget {
 			return finish(true)
+		}
+		if p.MemoryBudget > 0 && mem.Used() > p.MemoryBudget {
+			res.Truncated = true
+			res.SortPatterns()
+			res.Elapsed = time.Since(start)
+			return res, &core.ResourceExhaustedError{
+				Algorithm: core.AlgoEnumerate, Level: next,
+				Budget: p.MemoryBudget, Used: mem.Used(),
+			}
 		}
 		levelStart := time.Now()
 		var st levelStats
@@ -132,6 +151,11 @@ func Enumerate(s *seq.Sequence, params core.Params) (*core.Result, error) {
 			}
 		}
 		st.count = time.Since(levelStart)
+		var levelBytes int64
+		for _, list := range nextPILs {
+			levelBytes += pil.EntryBytes * int64(len(list))
+		}
+		mem.Charge(levelBytes)
 		recordEnumLevel(r, next, sigmaPow(next), nextPILs, nextSups, st)
 		res.Levels[len(res.Levels)-1].Elapsed += time.Since(levelStart)
 		nonzero = nextPILs

@@ -47,6 +47,12 @@ type runner struct {
 	arenas  []pil.Arena   // two per worker: arenas[2*w+parity(level)]
 	joinScr []joinScratch // one per worker: cached suffix-run join state
 
+	// mem accounts the run's retained PIL bytes against p.MemoryBudget:
+	// Params.Mem when the caller installed one (the server's per-job
+	// tracker), else ownMem so enforcement never depends on the caller.
+	mem    *pil.MemTracker
+	ownMem pil.MemTracker
+
 	// Per-level scratch, reused across levels.
 	hatBuf    [2][]hatEntry // double-buffered hat storage
 	cands     []candidate
@@ -120,6 +126,37 @@ func (r *runner) cancelled(level int, err error) error {
 	return &core.CancelledError{Algorithm: r.res.Algorithm, Level: level, Err: err}
 }
 
+// initMem wires the runner's memory tracker into its arenas. Must be
+// called after r.arenas is sized and before any level is counted.
+func (r *runner) initMem() {
+	r.mem = r.p.Mem
+	if r.mem == nil {
+		r.mem = &r.ownMem
+	}
+	for i := range r.arenas {
+		r.arenas[i].SetTracker(r.mem)
+	}
+}
+
+// exhausted builds the typed budget-abort error for the given level.
+func (r *runner) exhausted(level int) error {
+	return &core.ResourceExhaustedError{
+		Algorithm: r.res.Algorithm,
+		Level:     level,
+		Budget:    r.p.MemoryBudget,
+		Used:      r.mem.Used(),
+	}
+}
+
+// checkMemory aborts a run whose retained PIL bytes exceed the budget.
+// Called between levels; the in-level guard lives in countCandidates.
+func (r *runner) checkMemory(level int) error {
+	if r.p.MemoryBudget > 0 && r.mem.Used() > r.p.MemoryBudget {
+		return r.exhausted(level)
+	}
+	return nil
+}
+
 // lambda returns the pruning factor applied at level i: λ(n, n−i) for
 // i <= n, and 1 beyond n (Figure 3 lines 6–7: best-effort region).
 func (r *runner) lambda(i int) float64 {
@@ -174,6 +211,7 @@ func (r *runner) run(start []pil.CodeList) {
 	alpha := r.s.Alphabet()
 	alphaN := int64(alpha.Size())
 	r.arenas = make([]pil.Arena, 2*r.workers())
+	r.initMem()
 
 	// Level StartLen: every |Σ|^StartLen combination is a candidate
 	// (built by direct scan, so the candidate count is analytic).
@@ -205,6 +243,10 @@ func (r *runner) run(start []pil.CodeList) {
 			break
 		}
 		if err := r.checkOverflow(next); err != nil {
+			r.err = err
+			break
+		}
+		if err := r.checkMemory(next); err != nil {
 			r.err = err
 			break
 		}
@@ -630,7 +672,9 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 	// worker) instead of re-scattering each list.
 	seedBits := r.p.StartLen == 1 && level == 2 && !r.wide
 
-	var stop atomic.Bool
+	mem, memBudget := r.mem, r.p.MemoryBudget
+
+	var stop, memHit atomic.Bool
 	var nextIdx atomic.Int64
 	var joins, entries atomic.Int64
 	var twoPtrJoins, cumJoins, bitapJoins, cumFalls atomic.Int64
@@ -656,6 +700,11 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 				stop.Store(true)
 				return
 			}
+			if memBudget > 0 && mem.Used() > memBudget {
+				memHit.Store(true)
+				stop.Store(true)
+				return
+			}
 			from := int(nextIdx.Add(stealBatch)) - stealBatch
 			if from >= len(groups) {
 				return
@@ -675,7 +724,9 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 					curLo, curW = spanLo, width
 					for int32(len(sc.tables)) < width {
 						sc.tables = append(sc.tables, pil.CumTable{})
+						sc.tables[len(sc.tables)-1].SetTracker(mem)
 						sc.bits = append(sc.bits, pil.BitTable{})
+						sc.bits[len(sc.bits)-1].SetTracker(mem)
 						sc.strat = append(sc.strat, core.JoinAuto)
 						sc.capped = append(sc.capped, false)
 					}
@@ -744,6 +795,12 @@ func (r *runner) countCandidates(ctx context.Context, level int, hat []hatEntry,
 	st.cumFalls += cumFalls.Load()
 	if err := ctx.Err(); err != nil {
 		r.err = r.cancelled(level, err)
+		return nil
+	}
+	if memHit.Load() {
+		// The in-flight level's partial counts are discarded; completed
+		// levels stay valid and travel with the error as a partial result.
+		r.err = r.exhausted(level)
 		return nil
 	}
 	out := r.hatBuf[level&1][:0]

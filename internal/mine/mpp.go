@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"errors"
 	"time"
 
 	"permine/internal/combinat"
@@ -51,10 +52,26 @@ func MPP(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	}
 	r.run(start3)
 	if r.err != nil {
-		return nil, r.err
+		return finishLevelRun(res, start, r.err)
 	}
 
 	res.SortPatterns()
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// finishLevelRun maps a level-loop abort to its return shape: a memory
+// budget abort ships the completed levels as a sorted partial result
+// (Truncated = true) alongside the typed error — the same contract as the
+// enumeration baseline's candidate budget — while every other abort
+// (cancellation, overflow guard) returns no result at all.
+func finishLevelRun(res *core.Result, start time.Time, err error) (*core.Result, error) {
+	var re *core.ResourceExhaustedError
+	if !errors.As(err, &re) {
+		return nil, err
+	}
+	res.Truncated = true
+	res.SortPatterns()
+	res.Elapsed = time.Since(start)
+	return res, err
 }

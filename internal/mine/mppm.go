@@ -52,7 +52,7 @@ func MPPm(s *seq.Sequence, params core.Params) (*core.Result, error) {
 	r := &runner{s: s, p: p, counter: counter, n: n, res: res}
 	r.run(start3)
 	if r.err != nil {
-		return nil, r.err
+		return finishLevelRun(res, start, r.err)
 	}
 
 	res.SortPatterns()

@@ -16,7 +16,13 @@ type Arena struct {
 	slabs [][]Entry
 	cur   int // index of the slab currently being filled
 	used  int // entries of slabs[cur] already committed
+	mem   *MemTracker
 }
+
+// SetTracker routes this arena's slab-growth byte charges to t (nil stops
+// tracking). Only growth is charged — the steady-state Reserve/Commit
+// path performs no tracker work at all.
+func (a *Arena) SetTracker(t *MemTracker) { a.mem = t }
 
 // arenaSlabEntries is the default slab size (entries). At 16 bytes per
 // Entry a slab is 512 KiB: big enough that realistic levels reuse a
@@ -44,8 +50,12 @@ func (a *Arena) Reserve(n int) List {
 		size = n
 	}
 	if a.cur == len(a.slabs) {
+		a.mem.Charge(int64(size) * EntryBytes)
 		a.slabs = append(a.slabs, make([]Entry, size))
 	} else if len(a.slabs[a.cur]) < n {
+		// Replacement: the undersized slab is released, so only the delta
+		// stays charged.
+		a.mem.Charge(int64(size-len(a.slabs[a.cur])) * EntryBytes)
 		a.slabs[a.cur] = make([]Entry, size)
 	}
 	a.used = 0

@@ -51,6 +51,23 @@ type BitTable struct {
 	occBuf   []uint64
 	dilBuf   []uint64
 	planeBuf [][]uint64
+
+	mem *MemTracker
+}
+
+// SetTracker routes the table's owned-buffer growth charges to m (nil
+// stops tracking). Borrowed bitmaps (BuildBits' occ) are never charged —
+// only buffers this table allocates and retains.
+func (t *BitTable) SetTracker(m *MemTracker) { t.mem = m }
+
+// grow returns buf resized to at least nw words, charging the tracker for
+// the growth delta when a new backing array is allocated.
+func (t *BitTable) grow(buf []uint64, nw int) []uint64 {
+	if cap(buf) < nw {
+		t.mem.Charge(8 * int64(nw-cap(buf)))
+		buf = make([]uint64, nw)
+	}
+	return buf
 }
 
 // Build fills the table from a non-empty PIL for joins under a gap window
@@ -63,9 +80,7 @@ func (t *BitTable) Build(s List, width int) {
 	// One padding word past the span keeps the join's two-word window
 	// extract branchless (pl[loW+1] is always addressable).
 	nw := ((t.last - t.base + 64) >> 6) + 1
-	if cap(t.occBuf) < nw {
-		t.occBuf = make([]uint64, nw)
-	}
+	t.occBuf = t.grow(t.occBuf, nw)
 	occ := t.occBuf[:nw]
 	clear(occ)
 	maxY := int64(1)
@@ -83,9 +98,7 @@ func (t *BitTable) Build(s List, width int) {
 	} else {
 		t.buildPlanes(s, nw)
 	}
-	if cap(t.dilBuf) < nw {
-		t.dilBuf = make([]uint64, nw)
-	}
+	t.dilBuf = t.grow(t.dilBuf, nw)
 	t.dil = t.dilBuf[:nw]
 	dilate(t.dil, occ, width)
 }
@@ -97,9 +110,7 @@ func (t *BitTable) buildPlanes(s List, nw int) {
 	}
 	t.planes = t.planes[:0]
 	for j := 0; j < t.nplanes; j++ {
-		if cap(t.planeBuf[j]) < nw {
-			t.planeBuf[j] = make([]uint64, nw)
-		}
+		t.planeBuf[j] = t.grow(t.planeBuf[j], nw)
 		pl := t.planeBuf[j][:nw]
 		clear(pl)
 		t.planeBuf[j] = pl
@@ -132,9 +143,7 @@ func (t *BitTable) BuildBits(occ []uint64, base, last, width int) {
 	t.occ = occ[:nw]
 	t.nplanes = 1
 	t.planes = append(t.planes[:0], t.occ)
-	if cap(t.dilBuf) < nw {
-		t.dilBuf = make([]uint64, nw)
-	}
+	t.dilBuf = t.grow(t.dilBuf, nw)
 	t.dil = t.dilBuf[:nw]
 	dilate(t.dil, t.occ, width)
 }

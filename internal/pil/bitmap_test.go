@@ -20,16 +20,16 @@ func TestJoinBitmapMatchesJoinInto(t *testing.T) {
 		n, stride, maxY int
 		g               combinat.Gap
 	}{
-		{200, 2, 1, combinat.Gap{N: 0, M: 0}},   // W=1, single plane
-		{200, 2, 6, combinat.Gap{N: 1, M: 4}},   // 3 planes
-		{500, 3, 6, combinat.Gap{N: 9, M: 12}},  // the benchmark regime
-		{500, 3, 1, combinat.Gap{N: 9, M: 10}},  // small-W, single plane
-		{50, 40, 6, combinat.Gap{N: 3, M: 30}},  // sparse: long X gaps
-		{1, 1, 6, combinat.Gap{N: 0, M: 5}},     // single entry
-		{300, 5, 6, combinat.Gap{N: 0, M: 63}},  // exactly MaxBitapWindow
-		{300, 5, 6, combinat.Gap{N: 0, M: 64}},  // one past it: 65 positions
+		{200, 2, 1, combinat.Gap{N: 0, M: 0}},     // W=1, single plane
+		{200, 2, 6, combinat.Gap{N: 1, M: 4}},     // 3 planes
+		{500, 3, 6, combinat.Gap{N: 9, M: 12}},    // the benchmark regime
+		{500, 3, 1, combinat.Gap{N: 9, M: 10}},    // small-W, single plane
+		{50, 40, 6, combinat.Gap{N: 3, M: 30}},    // sparse: long X gaps
+		{1, 1, 6, combinat.Gap{N: 0, M: 5}},       // single entry
+		{300, 5, 6, combinat.Gap{N: 0, M: 63}},    // exactly MaxBitapWindow
+		{300, 5, 6, combinat.Gap{N: 0, M: 64}},    // one past it: 65 positions
 		{300, 5, 6, combinat.Gap{N: 100, M: 400}}, // W far beyond one word
-		{64, 1, 255, combinat.Gap{N: 2, M: 9}},  // 8 planes, dense
+		{64, 1, 255, combinat.Gap{N: 2, M: 9}},    // 8 planes, dense
 	}
 	for ci, tc := range cases {
 		for rep := 0; rep < 4; rep++ {

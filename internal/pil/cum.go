@@ -17,7 +17,12 @@ type CumTable struct {
 	base int // X of the first entry
 	last int // X of the last entry
 	cum  []int64
+	mem  *MemTracker
 }
+
+// SetTracker routes the table's backing-array growth charges to t (nil
+// stops tracking). Rebuilds that fit the retained array charge nothing.
+func (t *CumTable) SetTracker(m *MemTracker) { t.mem = m }
 
 // Build fills the table from a non-empty PIL, reusing the previous
 // backing array when large enough.
@@ -26,6 +31,7 @@ func (t *CumTable) Build(s List) {
 	t.last = int(s[len(s)-1].X)
 	n := t.last - t.base + 1
 	if cap(t.cum) < n {
+		t.mem.Charge(8 * int64(n-cap(t.cum)))
 		t.cum = make([]int64, n)
 	}
 	cum := t.cum[:n]

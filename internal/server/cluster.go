@@ -69,8 +69,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleClusterHeartbeat answers a framed ping with this node's identity,
-// readiness, and queue depth. The coordinator folds the depth into its
-// placement load model, so a busy peer sheds work without any extra RPC.
+// readiness, queue depth, and memory pressure. The coordinator folds the
+// depth and pressure into its placement load model, so a busy or memory-hot
+// peer sheds work without any extra RPC.
 func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
 	msg, err := cluster.ReadFrame(r.Body, int(s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -82,10 +83,11 @@ func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	pong, err := cluster.NewMessage("pong", cluster.Pong{
-		Node:       s.nodeID,
-		Version:    s.cfg.Version,
-		Ready:      len(s.notReadyReasons()) == 0,
-		QueueDepth: s.mgr.QueueDepth(),
+		Node:        s.nodeID,
+		Version:     s.cfg.Version,
+		Ready:       len(s.notReadyReasons()) == 0,
+		QueueDepth:  s.mgr.QueueDepth(),
+		MemPressure: s.governor.Pressure(),
 	})
 	if err != nil {
 		apiError(w, http.StatusInternalServerError, "encoding pong: %v", err)
@@ -96,9 +98,10 @@ func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 }
 
 // handleClusterMine executes one forwarded mining unit (a corpus shard or a
-// whole job) on behalf of a coordinator. Queue saturation and drain map to
-// 503 so the coordinator retries elsewhere without dinging this peer's
-// health; genuine mining failures travel back inside an "error" frame and
+// whole job) on behalf of a coordinator. Queue saturation and governor shed
+// map to 429 (+Retry-After) and drain to 503; both read as ErrPeerBusy on
+// the coordinator, which retries elsewhere without dinging this peer's
+// health. Genuine mining failures travel back inside an "error" frame and
 // charge the shard's retry budget on the coordinator, not this node's.
 func (s *Server) handleClusterMine(w http.ResponseWriter, r *http.Request) {
 	msg, err := cluster.ReadFrame(r.Body, int(s.cfg.MaxBodyBytes))
@@ -121,7 +124,14 @@ func (s *Server) handleClusterMine(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res, spans, err := s.mineForPeerRequest(r.Context(), req)
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+		// Backpressure: 429 + Retry-After, so the coordinator retries
+		// elsewhere without dinging this peer's health. Draining (above)
+		// and shutdown keep 503 — this node is going away, not busy.
+		s.rejectBusy(w, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
 		apiError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -190,6 +200,9 @@ type RemoteTrace struct {
 // spans (job.run plus its mine.level children) travel back piggybacked on
 // the result frame so the coordinator assembles one cross-node tree.
 func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo core.Algorithm, params core.Params, remote RemoteTrace) (*core.Result, []obs.SpanData, error) {
+	if params.MemoryBudget == 0 {
+		params.MemoryBudget = m.cfg.MemBudget
+	}
 	np, err := params.Normalize()
 	if err != nil {
 		return nil, nil, err
@@ -226,6 +239,12 @@ func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo 
 			return res, collected(), nil
 		}
 	}
+	// Same admission ladder as local submits: a memory-hot peer sheds
+	// forwarded work back to the coordinator (429 → ErrPeerBusy → retried
+	// elsewhere) instead of digging itself deeper.
+	if err := m.admit(shedClass(algo)); err != nil {
+		return nil, nil, err
+	}
 
 	type reply struct {
 		res *core.Result
@@ -250,6 +269,9 @@ func (m *Manager) MineForPeer(rctx context.Context, subject *seq.Sequence, algo 
 		}
 		p := np
 		p.Ctx = ctx
+		tracker := m.cfg.Governor.Acquire()
+		defer m.cfg.Governor.Release(tracker)
+		p.Mem = tracker
 		start := time.Now()
 		res, err := runAlgorithm(algo, subject, p)
 		if err != nil {

@@ -41,8 +41,18 @@ func (m *Manager) SubmitCorpus(rctx context.Context, name string, seqs []*seq.Se
 	_, span := obs.Start(rctx, "corpus.job",
 		obs.KV("algorithm", algo.String()), obs.KV("shards", len(seqs)))
 	defer span.End()
+	if params.MemoryBudget == 0 {
+		params.MemoryBudget = m.cfg.MemBudget
+	}
 	np, err := params.Normalize()
 	if err != nil {
+		span.RecordError(err)
+		return nil, err
+	}
+	// Corpus jobs are the most expensive admission class: they fan out
+	// into many shards and are never cache-derivable as a whole, so the
+	// governor sheds them first when brownout begins.
+	if err := m.admit(shedClassCorpus); err != nil {
 		span.RecordError(err)
 		return nil, err
 	}
@@ -186,6 +196,14 @@ func (m *Manager) runShard(ctx context.Context, j *corpus.Job, s *corpus.Shard) 
 		return nil, err
 	}
 	p.Ctx = ctx
+	// Each shard charges its own child of the governor, bounded by the
+	// job's per-run budget: one poisoned shard (giant PILs under a wide
+	// gap) exhausts its own budget and degrades the corpus to partial
+	// through the normal failed-shard machinery — it cannot take the
+	// whole fleet's memory down with it.
+	tracker := m.cfg.Governor.Acquire()
+	defer m.cfg.Governor.Release(tracker)
+	p.Mem = tracker
 	start := time.Now()
 	res, err := runAlgorithm(j.Algorithm(), s.Seq(), p)
 	if err != nil {
@@ -559,6 +577,9 @@ func (s *Server) handleCorpusSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.mgr.SubmitCorpus(r.Context(), req.Name, seqs, algo, params, timeout)
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.rejectBusy(w, err)
+		return
 	case errors.Is(err, ErrShuttingDown):
 		apiError(w, http.StatusServiceUnavailable, "%v", err)
 		return

@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"permine/internal/core"
+	"permine/internal/corpus/corpustest"
 )
 
 func TestBroadcasterDropsSlowSubscriber(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	b := NewBroadcaster()
 	sub := b.Subscribe("j-1")
 	other := b.Subscribe("j-1")
@@ -58,6 +60,7 @@ func TestBroadcasterDropsSlowSubscriber(t *testing.T) {
 }
 
 func TestBroadcasterEndJob(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	b := NewBroadcaster()
 	sub := b.Subscribe("j-1")
 	unrelated := b.Subscribe("j-2")
@@ -86,6 +89,7 @@ func TestBroadcasterEndJob(t *testing.T) {
 }
 
 func TestBroadcasterCloseAndLateSubscribe(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	b := NewBroadcaster()
 	sub := b.Subscribe("j-1")
 	b.Close()
@@ -113,6 +117,7 @@ func TestBroadcasterCloseAndLateSubscribe(t *testing.T) {
 // TestBroadcasterConcurrentChurn hammers publish, subscribe, close and
 // drop paths together; run under -race it proves the single-lock design.
 func TestBroadcasterConcurrentChurn(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	b := NewBroadcaster()
 	jobs := []string{"a", "b", "c"}
 	var wg sync.WaitGroup
@@ -223,6 +228,7 @@ func openSSE(t *testing.T, base, id string) *http.Response {
 // level, every live level exactly once (sequence strictly increasing), and
 // a final end event followed by EOF.
 func TestSSELiveStream(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	srv, ts := newTestServer(t, Config{Workers: 1})
 	levelHit := make(chan struct{})
 	release := make(chan struct{})
@@ -304,6 +310,7 @@ func TestSSELiveStream(t *testing.T) {
 // TestSSELateSubscriber connects after the job finished: the stream must
 // replay every level, send the end event, and close.
 func TestSSELateSubscriber(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp := postJSON(t, ts.URL+"/v1/jobs", jobBody(t, "mppm", genomeSeq(t, 400, 7).Data()))
 	sub := decode(t, resp.Body)
@@ -334,6 +341,7 @@ func TestSSELateSubscriber(t *testing.T) {
 // TestSSEDisconnectDoesNotBlockJob disconnects a client while the miner is
 // gated and asserts the job still finishes and the subscription is reaped.
 func TestSSEDisconnectDoesNotBlockJob(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	srv, ts := newTestServer(t, Config{Workers: 1})
 	levelHit := make(chan struct{})
 	release := make(chan struct{})
@@ -363,6 +371,7 @@ func TestSSEDisconnectDoesNotBlockJob(t *testing.T) {
 
 // TestSSEUnknownJob404 checks the events route validates the job id.
 func TestSSEUnknownJob404(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp := doRequest(t, http.MethodGet, ts.URL+"/v1/jobs/j-999999/events")
 	defer resp.Body.Close()

@@ -23,19 +23,24 @@ import (
 type JobState string
 
 // Job lifecycle states. Transitions: queued → running → {done, failed,
-// cancelled}; queued → cancelled directly when a job is cancelled before a
-// worker picks it up; queued → done directly on a cache hit.
+// cancelled, resource_exhausted}; queued → cancelled directly when a job
+// is cancelled before a worker picks it up; queued → done directly on a
+// cache hit.
 const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobResourceExhausted marks a run aborted by its memory budget: the
+	// result holds the completed levels only (Truncated set), and unlike
+	// done results it is never cached — a bigger budget might finish.
+	JobResourceExhausted JobState = "resource_exhausted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobResourceExhausted
 }
 
 // Job is one submitted mining run. All mutable state is guarded by mu;
@@ -181,6 +186,12 @@ type ManagerConfig struct {
 	// Cache, when non-nil, short-circuits submits whose key hits and
 	// stores successful results.
 	Cache *Cache
+	// Governor enforces the process-wide memory ceiling and the brownout
+	// admission ladder (default: an unlimited governor that only tracks).
+	Governor *Governor
+	// MemBudget is the default per-job memory budget applied to submits
+	// that carry none (0 everywhere means unlimited).
+	MemBudget int64
 	// DisableSubsumption turns off cross-threshold cache derivation:
 	// with it set, only exact CacheKey hits are served from the cache.
 	DisableSubsumption bool
@@ -247,6 +258,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.Store == nil {
 		c.Store = store.NewMemory()
+	}
+	if c.Governor == nil {
+		c.Governor = NewGovernor(0, 0)
 	}
 	if c.RetryBudget <= 0 {
 		c.RetryBudget = 3
@@ -330,6 +344,24 @@ func NewManager(cfg ManagerConfig) *Manager {
 // QueueDepth reports the number of jobs waiting for a worker.
 func (m *Manager) QueueDepth() int { return len(m.queue) }
 
+// RetryAfterHint estimates when a shed or queue-full submit is worth
+// retrying: one retry backoff per queued job ahead of the client, clamped
+// to [1s, 60s]. The HTTP layer sends it as the Retry-After header on
+// every 429 rejection.
+func (m *Manager) RetryAfterHint() time.Duration {
+	d := time.Duration(m.QueueDepth()+1) * m.cfg.RetryBackoff
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// Governor exposes the memory governor (heartbeats, metrics, tests).
+func (m *Manager) Governor() *Governor { return m.cfg.Governor }
+
 // Submit registers a mining job. On a cache hit the returned job is
 // already done (State JobDone, CacheHit true); otherwise it is queued.
 // timeout <= 0 uses the manager default. When rctx carries a tracing span
@@ -340,6 +372,9 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 	sctx, span := obs.Start(rctx, "job.submit",
 		obs.KV("algorithm", algo.String()), obs.KV("seq_len", s.Len()))
 	defer span.End()
+	if params.MemoryBudget == 0 {
+		params.MemoryBudget = m.cfg.MemBudget
+	}
 	np, err := params.Normalize()
 	if err != nil {
 		span.RecordError(err)
@@ -411,6 +446,16 @@ func (m *Manager) Submit(rctx context.Context, s *seq.Sequence, algo core.Algori
 			m.cfg.Logger.Info("job cache hit", "job", j.id, "algorithm", algo.String(), "seq_len", s.Len(), "subsumed", subsumed)
 			return j, nil
 		}
+	}
+
+	// Admission runs after the cache lookup on purpose: cached-derivable
+	// queries keep serving through brownout; only work that would charge
+	// new mining memory is shed.
+	if err := m.admit(shedClass(algo)); err != nil {
+		m.mu.Unlock()
+		cancel()
+		span.RecordError(err)
+		return nil, err
 	}
 
 	// Render the durable record before a worker can touch the job; it is
@@ -600,6 +645,12 @@ func (m *Manager) runJob(j *Job) {
 		obs.KV("job", j.id), obs.KV("algorithm", j.algorithm.String()))
 	p := j.params
 	p.Ctx = runCtx
+	// The per-job tracker chains to the governor's global gauge: every
+	// worker's slab growth feeds one shared high-water mark, and Release
+	// returns the run's retained bytes once the run is over.
+	tracker := m.cfg.Governor.Acquire()
+	defer m.cfg.Governor.Release(tracker)
+	p.Mem = tracker
 	p.Progress = func(lm core.LevelMetrics) {
 		seq := j.addLevel(lm)
 		if m.cfg.Metrics != nil {
@@ -628,9 +679,15 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.finishedAt = time.Now()
 	var final JobState
+	var exhausted *core.ResourceExhaustedError
 	switch {
 	case err == nil:
 		final, j.result = JobDone, res
+	case res != nil && errors.As(err, &exhausted):
+		// Memory budget abort: a distinct terminal state carrying the
+		// completed-levels partial result, excluded from the cache.
+		final, j.result, j.err = JobResourceExhausted, res, err
+		j.note = fmt.Sprintf("memory budget exhausted at level %d; completed levels only", exhausted.Level)
 	case res != nil && errors.Is(err, core.ErrBudgetExceeded):
 		// The enumeration baseline reports a valid truncated result.
 		final, j.result = JobDone, res

@@ -10,6 +10,7 @@ import (
 
 	"permine/internal/combinat"
 	"permine/internal/core"
+	"permine/internal/corpus/corpustest"
 	"permine/internal/gen"
 	"permine/internal/mine"
 	"permine/internal/seq"
@@ -65,6 +66,7 @@ func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
 // TestManagerLifecycle: a submitted job runs to done with per-level
 // progress, and its result matches a direct library call.
 func TestManagerLifecycle(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 2})
 	s := genomeSeq(t, 400, 7)
 
@@ -100,6 +102,7 @@ func TestManagerLifecycle(t *testing.T) {
 // TestManagerCacheHit: an identical second submit completes instantly from
 // the cache with the same result pointer semantics and hit accounting.
 func TestManagerCacheHit(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	cache := NewCache(8)
 	m := newTestManager(t, ManagerConfig{Workers: 1, Cache: cache})
 	s := genomeSeq(t, 400, 7)
@@ -133,6 +136,7 @@ func TestManagerCacheHit(t *testing.T) {
 // callback, cancels, and verifies the job lands in cancelled without a
 // result.
 func TestManagerCancelRunning(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 1})
 	levelHit := make(chan struct{}, 1)
 	release := make(chan struct{})
@@ -182,6 +186,7 @@ func TestManagerCancelRunning(t *testing.T) {
 // TestManagerQueueFull: with one gated worker and a queue of one, a third
 // submit is rejected.
 func TestManagerQueueFull(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
@@ -210,6 +215,7 @@ func TestManagerQueueFull(t *testing.T) {
 // TestManagerShutdownCancelsWork: Shutdown cancels queued and running jobs
 // and refuses later submits.
 func TestManagerShutdownCancelsWork(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := NewManager(ManagerConfig{Workers: 1, Logger: quietLogger()})
 	s := genomeSeq(t, 500, 3)
 	var jobs []*Job
@@ -241,6 +247,7 @@ func TestManagerShutdownCancelsWork(t *testing.T) {
 // TestManagerConcurrentLoad hammers submit/poll/cancel from many
 // goroutines; run under -race this is the job manager's data-race gate.
 func TestManagerConcurrentLoad(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	cache := NewCache(16)
 	metrics := NewMetrics(nil)
 	m := newTestManager(t, ManagerConfig{
@@ -312,6 +319,7 @@ func TestManagerConcurrentLoad(t *testing.T) {
 // TestManagerRetention: finished jobs beyond the retention bound are
 // evicted, oldest first.
 func TestManagerRetention(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 1, Retain: 3})
 	s := genomeSeq(t, 200, 1)
 	var ids []string
@@ -340,6 +348,7 @@ func TestManagerRetention(t *testing.T) {
 // queue terminates it immediately — no worker slot is consumed, no
 // StartedAt is set, and the slot serves the next job.
 func TestManagerCancelQueued(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 1})
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
@@ -404,6 +413,7 @@ func TestManagerCancelQueued(t *testing.T) {
 // under -race this gates the queued-vs-running cancel handoff. Every job
 // must land terminal with a consistent snapshot either way.
 func TestManagerCancelRace(t *testing.T) {
+	corpustest.CheckLeaks(t)
 	m := newTestManager(t, ManagerConfig{Workers: 2, QueueDepth: 64})
 	s := genomeSeq(t, 300, 5)
 

@@ -107,6 +107,11 @@ type Metrics struct {
 	sseFn       func() SSEStats
 	clusterFn   func() cluster.Stats // nil when the node is not a coordinator
 
+	// Governor shedding: submits rejected by the brownout ladder, keyed by
+	// admission class; governorFn snapshots the live memory gauges.
+	shed       map[string]int64
+	governorFn func() GovernorStats
+
 	// Corpus-engine counters: jobs by state, terminal transitions, shard
 	// outcomes, retries with their cumulative backoff, and shards replayed
 	// from journal checkpoints instead of re-mined after a restart.
@@ -133,6 +138,7 @@ func NewMetrics(queueFn func() int) *Metrics {
 		corpusStates:   make(map[string]int64),
 		corpusFinished: make(map[string]int64),
 		corpusShards:   make(map[string]int64),
+		shed:           make(map[string]int64),
 		queueFn:        queueFn,
 	}
 }
@@ -148,9 +154,17 @@ func (m *Metrics) JobTransition(from, to JobState) {
 	}
 	m.jobStates[string(to)]++
 	switch to {
-	case JobDone, JobFailed, JobCancelled:
+	case JobDone, JobFailed, JobCancelled, JobResourceExhausted:
 		m.finished[string(to)]++
 	}
+}
+
+// JobShed counts one submit rejected by the memory governor's brownout
+// ladder, by admission class ("corpus", "enumerate", "job").
+func (m *Metrics) JobShed(class string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed[class]++
 }
 
 // JobRecovered notes one job reconstructed from the journal at boot: the
@@ -302,15 +316,15 @@ type SLOStats struct {
 
 // MetricsSnapshot is the JSON payload of GET /v1/metrics.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	Jobs          map[string]int64         `json:"jobs_by_state"`
-	JobsFinished  map[string]int64         `json:"jobs_finished_total"`
-	QueueDepth    int                      `json:"queue_depth"`
-	Cache         CacheStats               `json:"cache"`
-	Store         store.Stats              `json:"store"`
-	Corpus        CorpusMetrics            `json:"corpus"`
-	Recovery      map[string]int64         `json:"recovery,omitempty"`
-	Requests      map[string]int64         `json:"requests_total"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          map[string]int64 `json:"jobs_by_state"`
+	JobsFinished  map[string]int64 `json:"jobs_finished_total"`
+	QueueDepth    int              `json:"queue_depth"`
+	Cache         CacheStats       `json:"cache"`
+	Store         store.Stats      `json:"store"`
+	Corpus        CorpusMetrics    `json:"corpus"`
+	Recovery      map[string]int64 `json:"recovery,omitempty"`
+	Requests      map[string]int64 `json:"requests_total"`
 	// JoinStrategies counts PIL joins executed by each join strategy
 	// across all mining runs (keys: "twoptr", "cum", "bitap").
 	JoinStrategies map[string]int64         `json:"join_strategies_total,omitempty"`
@@ -321,6 +335,10 @@ type MetricsSnapshot struct {
 	RequestLatency map[string]HistogramView `json:"request_duration_seconds"`
 	SLO            SLOStats                 `json:"slo"`
 	SSE            SSEStats                 `json:"sse"`
+	// Governor is the memory governor's live gauges; Shed counts submits
+	// rejected by the brownout ladder, by admission class.
+	Governor *GovernorStats   `json:"governor,omitempty"`
+	Shed     map[string]int64 `json:"shed_total,omitempty"`
 	// Cluster is present only on coordinators.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
@@ -396,6 +414,16 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	}
 	if m.sseFn != nil {
 		snap.SSE = m.sseFn()
+	}
+	if m.governorFn != nil {
+		gs := m.governorFn()
+		snap.Governor = &gs
+	}
+	if len(m.shed) > 0 {
+		snap.Shed = make(map[string]int64, len(m.shed))
+		for k, v := range m.shed {
+			snap.Shed[k] = v
+		}
 	}
 	if m.clusterFn != nil {
 		cs := m.clusterFn()

@@ -77,7 +77,7 @@ func alphabetFor(name, symbols string) (*seq.Alphabet, error) {
 func (m *Manager) jobFromRecord(rec store.JobRecord) (*Job, error) {
 	state := JobState(rec.State)
 	switch state {
-	case JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+	case JobQueued, JobRunning, JobDone, JobFailed, JobCancelled, JobResourceExhausted:
 	default:
 		return nil, fmt.Errorf("unknown job state %q", rec.State)
 	}

@@ -144,6 +144,24 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) error {
 	p.Meta("permine_slo_breaches_total", "counter", "Requests that exceeded the latency SLO target.")
 	p.Sample("permine_slo_breaches_total", nil, float64(snap.SLO.Breaches))
 
+	if g := snap.Governor; g != nil {
+		p.Meta("permine_mem_used_bytes", "gauge", "Mining memory currently charged against the governor.")
+		p.Sample("permine_mem_used_bytes", nil, float64(g.UsedBytes))
+		p.Meta("permine_mem_high_bytes", "gauge", "High-water mark of mining memory charged against the governor.")
+		p.Sample("permine_mem_high_bytes", nil, float64(g.HighBytes))
+		p.Meta("permine_mem_limit_bytes", "gauge", "Process-wide mining memory ceiling (0 = unlimited).")
+		p.Sample("permine_mem_limit_bytes", nil, float64(g.LimitBytes))
+		p.Meta("permine_mem_pressure", "gauge", "Governor memory pressure: used/limit (0 when unlimited).")
+		p.Sample("permine_mem_pressure", nil, g.Pressure)
+		p.Meta("permine_brownout", "gauge", "1 while the governor is shedding expensive job classes.")
+		p.Sample("permine_brownout", nil, boolGauge(g.Brownout))
+	}
+
+	p.Meta("permine_shed_total", "counter", "Submissions shed by the memory governor, by job class.")
+	for _, class := range sortedKeys(snap.Shed) {
+		p.Sample("permine_shed_total", []obs.Label{{Name: "class", Value: class}}, float64(snap.Shed[class]))
+	}
+
 	return p.Err()
 }
 

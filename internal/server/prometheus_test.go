@@ -70,6 +70,11 @@ func fixedSnapshot() MetricsSnapshot {
 		},
 		SLO: SLOStats{TargetP99Seconds: 0.25, Requests: 21, Breaches: 2},
 		SSE: SSEStats{Subscribers: 1, Dropped: 2},
+		Governor: &GovernorStats{
+			UsedBytes: 96 << 20, HighBytes: 200 << 20, LimitBytes: 256 << 20,
+			Pressure: 0.375, Brownout: false,
+		},
+		Shed: map[string]int64{"corpus": 2, "enumerate": 1, "job": 4},
 		Cluster: &cluster.Stats{
 			Self: "http://coord:18080",
 			PeersByState: map[string]int{
@@ -200,6 +205,9 @@ func TestPrometheusEndpointInvariants(t *testing.T) {
 		"permine_slo_target_p99_seconds",
 		"permine_slo_requests_total",
 		"permine_slo_breaches_total",
+		"permine_mem_used_bytes",
+		"permine_mem_limit_bytes",
+		"permine_mem_pressure",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -81,6 +81,19 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies via http.MaxBytesReader (default
 	// 64 MiB); oversized uploads get 413 instead of exhausting memory.
 	MaxBodyBytes int64
+	// MemBudget is the default per-job memory budget in bytes applied to
+	// submits that carry none (0 means unlimited — jobs run unbudgeted
+	// unless they ask). An over-budget run lands in the resource_exhausted terminal
+	// state with its completed levels as a partial result.
+	MemBudget int64
+	// MemGlobal is the process-wide mining-memory ceiling in bytes shared
+	// across workers (0 = unlimited, accounting only). Nearing it triggers
+	// brownout; reaching it sheds all new mining with 429 + Retry-After.
+	MemGlobal int64
+	// BrownoutPct is the percentage of MemGlobal at which the governor
+	// starts shedding expensive job classes (corpus, enumerate) before
+	// cheap ones (default 85).
+	BrownoutPct int
 	// MaxSyncSeqLen bounds the sequence length /v1/query accepts
 	// (default 1<<20); longer inputs must go through a job.
 	MaxSyncSeqLen int
@@ -193,6 +206,10 @@ type Server struct {
 	handler http.Handler
 	started time.Time
 
+	// governor is the process-wide memory budget shared by every mining
+	// unit; its pressure rides heartbeat pongs and /metrics.
+	governor *Governor
+
 	// clu is non-nil on coordinators; nodeID identifies this daemon in
 	// heartbeat pongs; draining flips at Shutdown and turns /readyz 503.
 	clu      *cluster.Cluster
@@ -209,8 +226,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	nodeID := newNodeID()
 	cache := NewCache(cfg.CacheSize)
+	governor := NewGovernor(cfg.MemGlobal, cfg.BrownoutPct)
 	metrics := NewMetrics(nil)
 	metrics.SetSLOTarget(cfg.SLOTargetP99)
+	metrics.governorFn = governor.Stats
 	ring := obs.NewRing(cfg.TraceSpans)
 	tracer := obs.NewTracer(ring, &obs.SlogExporter{Logger: cfg.Logger, Level: slog.LevelDebug})
 	// Every span this node creates carries its identity, so a federated
@@ -255,7 +274,8 @@ func New(cfg Config) *Server {
 				}
 				return mgr.QueueDepth()
 			},
-			Logger: cfg.Logger,
+			SelfPressure: governor.Pressure,
+			Logger:       cfg.Logger,
 		})
 	}
 
@@ -265,6 +285,8 @@ func New(cfg Config) *Server {
 		JobTimeout:         cfg.JobTimeout,
 		Retain:             cfg.Retain,
 		Cache:              cache,
+		Governor:           governor,
+		MemBudget:          cfg.MemBudget,
 		DisableSubsumption: cfg.DisableSubsumption,
 		Metrics:            metrics,
 		Store:              st,
@@ -300,17 +322,18 @@ func New(cfg Config) *Server {
 		clu.Start()
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		metrics: metrics,
-		mgr:     mgr,
-		st:      st,
-		tracer:  tracer,
-		ring:    ring,
-		events:  events,
-		started: time.Now(),
-		clu:     clu,
-		nodeID:  nodeID,
+		cfg:      cfg,
+		cache:    cache,
+		metrics:  metrics,
+		mgr:      mgr,
+		st:       st,
+		tracer:   tracer,
+		ring:     ring,
+		events:   events,
+		started:  time.Now(),
+		governor: governor,
+		clu:      clu,
+		nodeID:   nodeID,
 	}
 
 	mux := http.NewServeMux()
@@ -483,6 +506,20 @@ func routeLabel(r *http.Request) string {
 	return r.Method + " " + path
 }
 
+// rejectBusy writes the 429 rejection shared by queue-full and
+// governor-shed submits: a Retry-After header derived from queue depth and
+// retry backoff, so well-behaved clients back off instead of hammering.
+// Draining and degraded-store rejections stay 503 — shed means "try again
+// here soon", shutdown means "go elsewhere".
+func (s *Server) rejectBusy(w http.ResponseWriter, err error) {
+	secs := int(s.mgr.RetryAfterHint() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	apiError(w, http.StatusTooManyRequests, "%v; retry after %ds", err, secs)
+}
+
 // apiError writes a JSON error body with the given status.
 func apiError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -510,6 +547,10 @@ type paramsJSON struct {
 	StartLen        int     `json:"start_len,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
 	CandidateBudget int64   `json:"candidate_budget,omitempty"`
+	// MemoryBudget caps the run's retained PIL bytes; an over-budget run
+	// terminates as resource_exhausted with completed-levels partial
+	// results. 0 takes the daemon default (-mem-budget; unlimited if unset).
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
 	// TopK and Motif select the interactive query kinds served by
 	// internal/query: the K best patterns by support ratio, and/or only
 	// patterns containing the motif.
@@ -533,6 +574,7 @@ func (p paramsJSON) toParams() (core.Params, error) {
 		StartLen:        p.StartLen,
 		Workers:         p.Workers,
 		CandidateBudget: p.CandidateBudget,
+		MemoryBudget:    p.MemoryBudget,
 		TopK:            p.TopK,
 		Motif:           p.Motif,
 		Join:            join,
@@ -674,6 +716,11 @@ func jobRequestFromQuery(r *http.Request, fasta string) (jobRequest, error) {
 			return req, fmt.Errorf("query parameter candidate_budget: %w", err)
 		}
 	}
+	if q.Has("memory_budget") {
+		if req.Params.MemoryBudget, err = strconv.ParseInt(q.Get("memory_budget"), 10, 64); err != nil {
+			return req, fmt.Errorf("query parameter memory_budget: %w", err)
+		}
+	}
 	if q.Has("timeout_ms") {
 		if req.TimeoutMS, err = strconv.ParseInt(q.Get("timeout_ms"), 10, 64); err != nil {
 			return req, fmt.Errorf("query parameter timeout_ms: %w", err)
@@ -732,8 +779,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.mgr.Submit(r.Context(), subject, algo, params, timeout)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		apiError(w, http.StatusServiceUnavailable, "%v; retry later", err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+		// Backpressure, not shutdown: 429 with a Retry-After hint so
+		// clients can tell shed from drain (which stays 503).
+		s.rejectBusy(w, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
 		apiError(w, http.StatusServiceUnavailable, "%v", err)

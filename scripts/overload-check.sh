@@ -1,0 +1,181 @@
+#!/usr/bin/env sh
+# Overload drill: boot a permined with a tiny global memory ceiling,
+# drive it past the ceiling with adversarial mining jobs plus background
+# load (scripts/loadgen), and assert the graceful-brownout contract:
+#
+#   * the governor sheds at least one submit (permine_shed_total moves)
+#     and the shed response is 429 with a Retry-After hint;
+#   * a per-job memory budget lands the job in the resource_exhausted
+#     terminal state with a truncated partial result;
+#   * when the dust settles, zero jobs are stuck non-terminal;
+#   * the daemon's RSS stays bounded — the ceiling actually ceilinged.
+#
+# Environment:
+#   OVERLOAD_PORT        listen port for the throwaway daemon (default 18098)
+#   OVERLOAD_MEM_GLOBAL  global ceiling in bytes            (default 64 KiB)
+#   OVERLOAD_RSS_MAX_KB  max allowed daemon VmRSS in kB     (default 524288)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${OVERLOAD_PORT:-18098}"
+MEM_GLOBAL="${OVERLOAD_MEM_GLOBAL:-65536}"
+RSS_MAX_KB="${OVERLOAD_RSS_MAX_KB:-524288}"
+BASE="http://127.0.0.1:$PORT"
+
+BIN="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/permined" ./cmd/permined
+go build -o "$BIN/loadgen" ./scripts/loadgen
+go build -o "$BIN/seqgen" ./cmd/seqgen
+
+# An adversarial workload: big enough that its retained PIL bytes blow
+# through both the per-job budget and the global ceiling mid-run.
+"$BIN/seqgen" -kind genome -len 20000 -seed 42 >"$BIN/heavy.fa"
+HEAVY_QS='algorithm=mpp&gap_min=2&gap_max=6&min_support=0.0002'
+
+# The default per-job budget (-mem-budget, 8 MiB) sits far above the
+# global ceiling, so any actively-mining run saturates the governor,
+# but each run's retention is still capped, keeping RSS bounded. Every
+# over-budget run ends resource_exhausted — cache-excluded by design —
+# so probe submits stay real work instead of becoming cache hits. The
+# oversized -queue makes the governor, not queue overflow, the only
+# possible source of 429s.
+"$BIN/permined" -addr "127.0.0.1:$PORT" -workers 2 -queue 256 \
+    -mem-global "$MEM_GLOBAL" -mem-budget 8388608 -brownout-pct 50 \
+    >"$BIN/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "overload-check: daemon never became ready on $BASE" >&2
+        cat "$BIN/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+submit_heavy() {
+    # $1: extra query params ('' for none); $2: FASTA file (default the
+    # seed-42 heavy sequence). Prints the HTTP status.
+    curl -s -o "$BIN/resp.json" -w '%{http_code}' -D "$BIN/resp.hdr" \
+        "$BASE/v1/jobs?$HEAVY_QS$1" \
+        -H 'Content-Type: text/x-fasta' --data-binary @"${2:-$BIN/heavy.fa}"
+}
+
+# 1. A budgeted adversarial job: must terminate resource_exhausted with
+# a truncated partial result, never wedge.
+STATUS="$(submit_heavy '&memory_budget=262144')"
+if [ "$STATUS" != 202 ]; then
+    echo "overload-check: budgeted submit returned $STATUS, want 202" >&2
+    cat "$BIN/resp.json" >&2
+    exit 1
+fi
+BUDGETED_ID="$(tr -d '\n' <"$BIN/resp.json" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')"
+if [ -z "$BUDGETED_ID" ]; then
+    echo "overload-check: no job id in submit response:" >&2
+    cat "$BIN/resp.json" >&2
+    exit 1
+fi
+
+# 2+3. Probe with unbudgeted heavy submits until we have seen BOTH an
+# accepted one (the daemon keeps doing real work under pressure) and a
+# shed one (429 with a Retry-After hint); background loadgen proves the
+# daemon stays responsive to reads throughout. Each probe carries a
+# distinct sequence (fresh seed) so the result cache can never answer
+# it — every probe must pass admission for real — and probes are
+# submitted back-to-back so the workers stay saturated: admission then
+# lands while a run is actively holding slabs past the ceiling.
+"$BIN/loadgen" -addr "$BASE" -path /healthz -rps 100 -duration 2s >"$BIN/loadgen.log" &
+LOADGEN_PID=$!
+ACCEPTED=0
+SHED=0
+RETRY_AFTER=
+i=0
+while [ "$i" -lt 120 ]; do
+    i=$((i + 1))
+    "$BIN/seqgen" -kind genome -len 20000 -seed $((100 + i)) >"$BIN/probe.fa"
+    STATUS="$(submit_heavy '' "$BIN/probe.fa")"
+    case "$STATUS" in
+        202) ACCEPTED=1 ;;
+        429)
+            SHED=1
+            if ! grep -qi '^retry-after:[[:space:]]*[0-9]' "$BIN/resp.hdr"; then
+                echo "overload-check: 429 without a Retry-After header:" >&2
+                cat "$BIN/resp.hdr" >&2
+                exit 1
+            fi
+            RETRY_AFTER="$(sed -n 's/^[Rr]etry-[Aa]fter:[[:space:]]*\([0-9]*\).*/\1/p' "$BIN/resp.hdr")"
+            ;;
+        *)
+            echo "overload-check: heavy submit returned $STATUS, want 202 or 429" >&2
+            cat "$BIN/resp.json" >&2
+            exit 1
+            ;;
+    esac
+    [ "$ACCEPTED" = 1 ] && [ "$SHED" = 1 ] && break
+done
+wait "$LOADGEN_PID" || { echo "overload-check: loadgen failed" >&2; cat "$BIN/loadgen.log" >&2; exit 1; }
+cat "$BIN/loadgen.log"
+if [ "$SHED" != 1 ]; then
+    echo "overload-check: governor never shed a submit while past the ceiling" >&2
+    curl -fsS "$BASE/metrics" | grep -E 'permine_mem|permine_shed' >&2 || true
+    exit 1
+fi
+if [ "$ACCEPTED" != 1 ]; then
+    echo "overload-check: every heavy submit was shed; daemon never admitted work" >&2
+    exit 1
+fi
+echo "overload-check: shed observed with Retry-After=${RETRY_AFTER}s"
+
+# 4. The budgeted job must settle resource_exhausted (truncated result).
+i=0
+while :; do
+    i=$((i + 1))
+    STATE="$(curl -fsS "$BASE/v1/jobs/$BUDGETED_ID" | sed -n 's/.*"state":[[:space:]]*"\([^"]*\)".*/\1/p' | head -n 1)"
+    case "$STATE" in
+        resource_exhausted) break ;;
+        done | failed | cancelled)
+            echo "overload-check: budgeted job ended $STATE, want resource_exhausted" >&2
+            exit 1
+            ;;
+    esac
+    if [ "$i" -gt 300 ]; then
+        echo "overload-check: budgeted job stuck in state '$STATE'" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "overload-check: budgeted job $BUDGETED_ID terminated resource_exhausted"
+
+# 5. Every accepted job must reach a terminal state — overload may shed
+# work but must never wedge it.
+i=0
+while :; do
+    i=$((i + 1))
+    STUCK="$(curl -fsS "$BASE/v1/jobs" | grep -cE '"state":[[:space:]]*"(queued|running)"' || true)"
+    [ "$STUCK" = 0 ] && break
+    if [ "$i" -gt 1200 ]; then
+        echo "overload-check: $STUCK job(s) still non-terminal after the drill" >&2
+        curl -fsS "$BASE/v1/jobs" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# 6. Shed counters made it to the exposition, and RSS stayed bounded.
+METRICS="$(curl -fsS "$BASE/metrics")"
+SHED_TOTAL="$(printf '%s\n' "$METRICS" | awk '/^permine_shed_total/ {s += $2} END {print s+0}')"
+if [ "$SHED_TOTAL" -lt 1 ]; then
+    echo "overload-check: permine_shed_total = $SHED_TOTAL after observed sheds" >&2
+    exit 1
+fi
+RSS_KB="$(awk '/^VmRSS:/ {print $2}' "/proc/$DAEMON_PID/status")"
+if [ -z "$RSS_KB" ] || [ "$RSS_KB" -gt "$RSS_MAX_KB" ]; then
+    echo "overload-check: daemon VmRSS ${RSS_KB:-unknown} kB exceeds bound $RSS_MAX_KB kB" >&2
+    exit 1
+fi
+echo "overload-check: shed_total=$SHED_TOTAL rss=${RSS_KB}kB (bound ${RSS_MAX_KB}kB); zero stuck jobs; gate OK"
